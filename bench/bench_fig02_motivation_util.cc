@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 2 reproduction: SSD bandwidth utilization (average + P95) of
+ * hardware vs software isolation across the six workload pairs.
+ * Paper result: software isolation improves average utilization by up
+ * to 1.52x (1.39x on average).
+ */
+#include "bench/bench_common.h"
+
+using namespace fleetio;
+using namespace fleetio::bench;
+
+int
+main()
+{
+    banner("Figure 2: utilization, Hardware vs Software Isolation");
+    Table t({"pair", "HW avg util", "HW p95", "SW avg util", "SW p95",
+             "SW/HW"});
+    double ratio_sum = 0, ratio_max = 0;
+    int n = 0;
+    for (const auto &pair : evaluationPairs()) {
+        const auto hw = runExperiment(
+            makeSpec(pair, PolicyKind::kHardwareIsolation));
+        const auto sw = runExperiment(
+            makeSpec(pair, PolicyKind::kSoftwareIsolation));
+        const double ratio = normalizeTo(sw.avg_util, hw.avg_util);
+        ratio_sum += ratio;
+        ratio_max = std::max(ratio_max, ratio);
+        ++n;
+        t.addRow({pairLabel(pair), fmtPercent(hw.avg_util),
+                  fmtPercent(hw.p95_util), fmtPercent(sw.avg_util),
+                  fmtPercent(sw.p95_util), fmtDouble(ratio) + "x"});
+    }
+    t.print(std::cout);
+    std::cout << "\nSoftware-isolation utilization improvement: avg "
+              << fmtDouble(ratio_sum / n) << "x, max "
+              << fmtDouble(ratio_max)
+              << "x  (paper: 1.39x avg, up to 1.52x)\n";
+    return 0;
+}

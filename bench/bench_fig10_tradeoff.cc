@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 10 reproduction: the utilization-vs-tail-latency trade-off of
+ * all five policies over the six workload pairs. Paper result: FleetIO
+ * improves utilization over Hardware Isolation by up to 1.39x (1.30x
+ * avg) while keeping P99 within ~1.2x of Hardware Isolation and well
+ * below Software Isolation / Adaptive (1.76x / 2.03x).
+ */
+#include <map>
+
+#include "bench/bench_common.h"
+
+using namespace fleetio;
+using namespace fleetio::bench;
+
+int
+main()
+{
+    banner("Figure 10: utilization vs P99 trade-off (all policies)");
+    Table t({"pair", "policy", "util gain vs HW",
+             "LS P99 (norm. to HW)"});
+    std::map<std::string, std::pair<double, double>> policy_sums;
+    std::map<std::string, int> policy_counts;
+
+    for (const auto &pair : evaluationPairs()) {
+        const auto hw = runExperiment(
+            makeSpec(pair, PolicyKind::kHardwareIsolation));
+        for (PolicyKind pk : mainPolicies()) {
+            const auto res =
+                pk == PolicyKind::kHardwareIsolation
+                    ? hw
+                    : runExperiment(makeSpec(pair, pk));
+            const double util_gain =
+                normalizeTo(res.avg_util, hw.avg_util);
+            const double p99_norm =
+                normalizeTo(res.meanLatencySensitiveP99(),
+                            hw.meanLatencySensitiveP99());
+            t.addRow({pairLabel(pair), res.policy,
+                      fmtDouble(util_gain) + "x",
+                      fmtDouble(p99_norm) + "x"});
+            policy_sums[res.policy].first += util_gain;
+            policy_sums[res.policy].second += p99_norm;
+            ++policy_counts[res.policy];
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nScatter centroids (cf. Fig. 10 markers):\n";
+    Table c({"policy", "mean util gain", "mean norm. P99"});
+    for (const auto &[name, sums] : policy_sums) {
+        const int n = policy_counts[name];
+        c.addRow({name, fmtDouble(sums.first / n) + "x",
+                  fmtDouble(sums.second / n) + "x"});
+    }
+    c.print(std::cout);
+    std::cout << "\nExpected shape: FleetIO sits upper-left — more "
+                 "utilization than HW/SSDKeeper at far lower P99 than "
+                 "SW/Adaptive.\n";
+    return 0;
+}

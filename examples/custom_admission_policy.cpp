@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Provider-side admission policies (§3.5): cloud operators can veto
+ * individual RL actions. Here a "spot" tenant is forbidden from
+ * harvesting and a "premium" tenant from donating, and the effect is
+ * visible in the admission counters and gSB state.
+ */
+#include <iostream>
+
+#include "src/core/admission_control.h"
+#include "src/harness/testbed.h"
+#include "src/virt/channel_allocator.h"
+
+using namespace fleetio;
+
+int
+main()
+{
+    TestbedOptions opts;
+    Testbed tb(opts);
+    const auto &geo = tb.device().geometry();
+    const auto split = ChannelAllocator::equalSplit(geo, 3);
+    const auto quota = geo.totalBlocks() / 3;
+
+    // Tenant roles: 0 = premium (never donates), 1 = standard,
+    // 2 = spot (never harvests).
+    Vssd &premium = tb.addTenant(WorkloadKind::kYcsbB, split[0], quota,
+                                 msec(2));
+    Vssd &standard = tb.addTenant(WorkloadKind::kVdiWeb, split[1],
+                                  quota, msec(2));
+    Vssd &spot = tb.addTenant(WorkloadKind::kBatchAnalytics, split[2],
+                              quota, msec(40));
+
+    AdmissionControl adm(tb.gsb(), tb.eq(), msec(50));
+    adm.setPermissionCheck([&](const PendingAction &a) {
+        if (a.vssd == premium.id() &&
+            a.type == PendingAction::Type::kMakeHarvestable) {
+            return false;  // premium capacity is never harvestable
+        }
+        if (a.vssd == spot.id() &&
+            a.type == PendingAction::Type::kHarvest) {
+            return false;  // spot tenants may not harvest
+        }
+        return true;
+    });
+
+    const double ch_bw = geo.channelBandwidthMBps();
+    // Everyone tries to donate 2 channels and harvest 2 channels.
+    for (Vssd *v : {&premium, &standard, &spot}) {
+        adm.submit({v->id(), PendingAction::Type::kMakeHarvestable,
+                    ch_bw * 2, 0});
+        adm.submit({v->id(), PendingAction::Type::kHarvest, ch_bw * 2,
+                    0});
+    }
+    adm.flush();
+
+    std::cout << "processed=" << adm.processed()
+              << " rejected=" << adm.rejected() << "\n";
+    std::cout << "premium donated: "
+              << tb.gsb().donatedChannels(premium.id())
+              << " channels (policy forbids donating)\n";
+    std::cout << "standard donated: "
+              << tb.gsb().donatedChannels(standard.id())
+              << " channels\n";
+    std::cout << "spot harvested: "
+              << tb.gsb().heldChannels(spot.id())
+              << " channels (policy forbids harvesting)\n";
+    std::cout << "premium harvested: "
+              << tb.gsb().heldChannels(premium.id()) << " channels\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+#include "src/cluster/features.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace fleetio {
+
+IoFeatures
+extractFeatures(const TraceRecord *begin, const TraceRecord *end,
+                std::uint32_t page_size, std::uint64_t logical_pages)
+{
+    IoFeatures f;
+    if (begin == end)
+        return f;
+
+    std::uint64_t read_bytes = 0, write_bytes = 0, total_pages = 0;
+    std::array<std::uint64_t, kEntropyBuckets> hist{};
+    const std::uint64_t bucket_span =
+        std::max<std::uint64_t>(1, logical_pages / kEntropyBuckets);
+    std::size_t n = 0;
+
+    for (const TraceRecord *r = begin; r != end; ++r, ++n) {
+        const std::uint64_t bytes =
+            std::uint64_t(r->npages) * page_size;
+        if (r->type == IoType::kRead)
+            read_bytes += bytes;
+        else
+            write_bytes += bytes;
+        total_pages += r->npages;
+        const std::size_t bucket =
+            std::min<std::uint64_t>(kEntropyBuckets - 1,
+                                    r->lpa / bucket_span);
+        ++hist[bucket];
+    }
+
+    const SimTime t0 = begin->time;
+    const SimTime t1 = (end - 1)->time;
+    const double dur_sec = std::max(toSeconds(t1 - t0), 1e-6);
+    constexpr double kMB = 1024.0 * 1024.0;
+    f.read_bw_mbps = double(read_bytes) / kMB / dur_sec;
+    f.write_bw_mbps = double(write_bytes) / kMB / dur_sec;
+    f.avg_io_kb = double(total_pages) * page_size / 1024.0 / double(n);
+
+    double entropy = 0.0;
+    for (std::uint64_t c : hist) {
+        if (c == 0)
+            continue;
+        const double p = double(c) / double(n);
+        entropy -= p * std::log2(p);
+    }
+    f.lpa_entropy = entropy;
+    return f;
+}
+
+std::vector<IoFeatures>
+extractWindows(const std::vector<TraceRecord> &trace,
+               std::uint32_t page_size, std::uint64_t logical_pages,
+               std::size_t window_requests)
+{
+    assert(window_requests > 0);
+    std::vector<IoFeatures> out;
+    for (std::size_t start = 0;
+         start + window_requests <= trace.size();
+         start += window_requests) {
+        out.push_back(extractFeatures(trace.data() + start,
+                                      trace.data() + start +
+                                          window_requests,
+                                      page_size, logical_pages));
+    }
+    return out;
+}
+
+}  // namespace fleetio

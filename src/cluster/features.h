@@ -1,0 +1,58 @@
+/**
+ * @file
+ * I/O feature extraction for workload-type clustering (paper §3.4):
+ * per-window {read bandwidth, write bandwidth, LPA entropy, average I/O
+ * size} over 10K-request trace windows.
+ */
+#ifndef FLEETIO_CLUSTER_FEATURES_H
+#define FLEETIO_CLUSTER_FEATURES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rl/matrix.h"
+#include "src/workloads/workload.h"
+
+namespace fleetio {
+
+/** The four clustering features of one trace window. */
+struct IoFeatures
+{
+    double read_bw_mbps = 0.0;
+    double write_bw_mbps = 0.0;
+    double lpa_entropy = 0.0;  ///< Shannon entropy (bits) over LPA regions
+    double avg_io_kb = 0.0;
+
+    rl::Vector toVector() const
+    {
+        return {read_bw_mbps, write_bw_mbps, lpa_entropy, avg_io_kb};
+    }
+};
+
+/** Requests per clustering window (paper: 10K). */
+inline constexpr std::size_t kFeatureWindowRequests = 10000;
+
+/** LPA histogram buckets for the entropy estimate. */
+inline constexpr std::size_t kEntropyBuckets = 256;
+
+/**
+ * Features of one window of trace records.
+ * @param page_size      bytes per page (for bandwidth / size units)
+ * @param logical_pages  address-space size (for entropy bucketing)
+ */
+IoFeatures extractFeatures(const TraceRecord *begin, const TraceRecord *end,
+                           std::uint32_t page_size,
+                           std::uint64_t logical_pages);
+
+/**
+ * Slice @p trace into windows of @p window_requests and extract features
+ * from each complete window.
+ */
+std::vector<IoFeatures>
+extractWindows(const std::vector<TraceRecord> &trace,
+               std::uint32_t page_size, std::uint64_t logical_pages,
+               std::size_t window_requests = kFeatureWindowRequests);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CLUSTER_FEATURES_H

@@ -1,0 +1,119 @@
+#include "src/cluster/kmeans.h"
+
+#include <cassert>
+#include <limits>
+
+namespace fleetio {
+
+double
+KMeans::dist2(const rl::Vector &a, const rl::Vector &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+int
+KMeans::predict(const std::vector<rl::Vector> &centroids,
+                const rl::Vector &x)
+{
+    int best = 0;
+    double best_d = std::numeric_limits<double>::max();
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = dist2(centroids[c], x);
+        if (d < best_d) {
+            best_d = d;
+            best = int(c);
+        }
+    }
+    return best;
+}
+
+KMeans::Result
+KMeans::fit(const std::vector<rl::Vector> &data, int k, Rng &rng,
+            int max_iter)
+{
+    assert(!data.empty());
+    assert(k >= 1);
+    const std::size_t n = data.size();
+    const std::size_t dim = data[0].size();
+    if (std::size_t(k) > n)
+        k = int(n);
+
+    Result res;
+
+    // k-means++ seeding.
+    res.centroids.push_back(data[rng.uniformInt(std::uint64_t(n))]);
+    std::vector<double> min_d2(n, 0.0);
+    while (int(res.centroids.size()) < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            min_d2[i] = dist2(data[i], res.centroids[0]);
+            for (std::size_t c = 1; c < res.centroids.size(); ++c) {
+                min_d2[i] = std::min(min_d2[i],
+                                     dist2(data[i], res.centroids[c]));
+            }
+            total += min_d2[i];
+        }
+        std::size_t pick = 0;
+        if (total > 0) {
+            double r = rng.uniform() * total;
+            for (std::size_t i = 0; i < n; ++i) {
+                r -= min_d2[i];
+                if (r <= 0.0) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.uniformInt(std::uint64_t(n));
+        }
+        res.centroids.push_back(data[pick]);
+    }
+
+    res.labels.assign(n, 0);
+    for (int iter = 0; iter < max_iter; ++iter) {
+        bool changed = false;
+        // Assign.
+        for (std::size_t i = 0; i < n; ++i) {
+            const int c = predict(res.centroids, data[i]);
+            if (c != res.labels[i]) {
+                res.labels[i] = c;
+                changed = true;
+            }
+        }
+        // Update.
+        std::vector<rl::Vector> sums(std::size_t(k),
+                                     rl::Vector(dim, 0.0));
+        std::vector<std::size_t> counts(std::size_t(k), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            rl::axpy(1.0, data[i], sums[std::size_t(res.labels[i])]);
+            ++counts[std::size_t(res.labels[i])];
+        }
+        for (int c = 0; c < k; ++c) {
+            if (counts[std::size_t(c)] == 0)
+                continue;  // empty cluster keeps its old centroid
+            for (std::size_t d = 0; d < dim; ++d) {
+                res.centroids[std::size_t(c)][d] =
+                    sums[std::size_t(c)][d] /
+                    double(counts[std::size_t(c)]);
+            }
+        }
+        res.iterations = iter + 1;
+        if (!changed)
+            break;
+    }
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        res.inertia +=
+            dist2(data[i], res.centroids[std::size_t(res.labels[i])]);
+    }
+    return res;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * k-means clustering with k-means++ initialization, used to learn
+ * workload types from I/O feature windows (paper §3.4, Fig. 6).
+ */
+#ifndef FLEETIO_CLUSTER_KMEANS_H
+#define FLEETIO_CLUSTER_KMEANS_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rl/matrix.h"
+#include "src/sim/rng.h"
+
+namespace fleetio {
+
+/** Standard Lloyd's algorithm with deterministic seeding. */
+class KMeans
+{
+  public:
+    struct Result
+    {
+        std::vector<rl::Vector> centroids;
+        std::vector<int> labels;     ///< per input point
+        double inertia = 0.0;        ///< sum of squared distances
+        int iterations = 0;
+    };
+
+    /**
+     * Fit @p k clusters to @p data.
+     * @pre data is non-empty, all points share one dimension, k >= 1.
+     */
+    static Result fit(const std::vector<rl::Vector> &data, int k,
+                      Rng &rng, int max_iter = 100);
+
+    /** Index of the nearest centroid to @p x. */
+    static int predict(const std::vector<rl::Vector> &centroids,
+                       const rl::Vector &x);
+
+    /** Squared Euclidean distance. */
+    static double dist2(const rl::Vector &a, const rl::Vector &b);
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CLUSTER_KMEANS_H

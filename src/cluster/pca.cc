@@ -1,0 +1,104 @@
+#include "src/cluster/pca.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fleetio {
+
+namespace {
+
+/** Covariance-matrix-vector product without materializing the matrix. */
+rl::Vector
+covTimes(const std::vector<rl::Vector> &centered, const rl::Vector &v)
+{
+    const std::size_t dim = v.size();
+    rl::Vector out(dim, 0.0);
+    for (const auto &row : centered) {
+        const double proj = rl::dot(row, v);
+        rl::axpy(proj, row, out);
+    }
+    for (double &x : out)
+        x /= double(centered.size());
+    return out;
+}
+
+double
+norm(const rl::Vector &v)
+{
+    return std::sqrt(rl::dot(v, v));
+}
+
+/** Power iteration for the dominant eigenvector of the covariance. */
+std::pair<rl::Vector, double>
+powerIterate(const std::vector<rl::Vector> &centered, std::size_t dim,
+             Rng &rng, const rl::Vector *deflate)
+{
+    rl::Vector v(dim);
+    for (double &x : v)
+        x = rng.normal();
+    double eig = 0.0;
+    for (int it = 0; it < 200; ++it) {
+        if (deflate != nullptr) {
+            const double p = rl::dot(v, *deflate);
+            rl::axpy(-p, *deflate, v);
+        }
+        rl::Vector w = covTimes(centered, v);
+        if (deflate != nullptr) {
+            const double p = rl::dot(w, *deflate);
+            rl::axpy(-p, *deflate, w);
+        }
+        const double n = norm(w);
+        if (n < 1e-12)
+            break;
+        for (std::size_t i = 0; i < dim; ++i)
+            w[i] /= n;
+        eig = n;
+        // Convergence check.
+        double diff = 0.0;
+        for (std::size_t i = 0; i < dim; ++i)
+            diff += std::abs(w[i] - v[i]);
+        v = std::move(w);
+        if (diff < 1e-10)
+            break;
+    }
+    return {v, eig};
+}
+
+}  // namespace
+
+void
+Pca::fit(const std::vector<rl::Vector> &data, Rng &rng)
+{
+    assert(!data.empty());
+    const std::size_t dim = data[0].size();
+    mean_.assign(dim, 0.0);
+    for (const auto &row : data)
+        rl::axpy(1.0, row, mean_);
+    for (double &m : mean_)
+        m /= double(data.size());
+
+    std::vector<rl::Vector> centered(data.size(), rl::Vector(dim));
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        for (std::size_t d = 0; d < dim; ++d)
+            centered[i][d] = data[i][d] - mean_[d];
+    }
+
+    auto [p1, e1] = powerIterate(centered, dim, rng, nullptr);
+    pc1_ = std::move(p1);
+    var1_ = e1;
+    auto [p2, e2] = powerIterate(centered, dim, rng, &pc1_);
+    pc2_ = std::move(p2);
+    var2_ = e2;
+}
+
+std::pair<double, double>
+Pca::project(const rl::Vector &x) const
+{
+    assert(x.size() == mean_.size());
+    rl::Vector c(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        c[i] = x[i] - mean_[i];
+    return {rl::dot(c, pc1_), rl::dot(c, pc2_)};
+}
+
+}  // namespace fleetio

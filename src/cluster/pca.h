@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Principal Component Analysis (2 components, via power iteration with
+ * deflation) — used only to render the Fig. 6 workload-cluster scatter
+ * in two dimensions, exactly as the paper does.
+ */
+#ifndef FLEETIO_CLUSTER_PCA_H
+#define FLEETIO_CLUSTER_PCA_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/rl/matrix.h"
+#include "src/sim/rng.h"
+
+namespace fleetio {
+
+/** Two-component PCA over mean-centred data. */
+class Pca
+{
+  public:
+    /** Learn the mean and the top-2 principal directions of @p data. */
+    void fit(const std::vector<rl::Vector> &data, Rng &rng);
+
+    /** Project @p x onto (PC1, PC2). @pre fit() was called. */
+    std::pair<double, double> project(const rl::Vector &x) const;
+
+    const rl::Vector &mean() const { return mean_; }
+    const rl::Vector &component(int i) const
+    {
+        return i == 0 ? pc1_ : pc2_;
+    }
+    double explainedVariance(int i) const
+    {
+        return i == 0 ? var1_ : var2_;
+    }
+
+  private:
+    rl::Vector mean_;
+    rl::Vector pc1_, pc2_;
+    double var1_ = 0.0, var2_ = 0.0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CLUSTER_PCA_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Admission control for RL actions (paper §3.5): validates each agent's
+ * Harvest / Make_Harvestable actions against provider policy, batches
+ * them (50 ms), reorders each batch to execute Make_Harvestable before
+ * Harvest, and ranks Harvest actions (least-harvested first) when
+ * demand exceeds supply.
+ */
+#ifndef FLEETIO_CORE_ADMISSION_CONTROL_H
+#define FLEETIO_CORE_ADMISSION_CONTROL_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/harvest/gsb_manager.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/** One RL resource action awaiting admission. */
+struct PendingAction
+{
+    enum class Type { kHarvest, kMakeHarvestable };
+    VssdId vssd = 0;
+    Type type = Type::kHarvest;
+    double bw_mbps = 0.0;
+    std::uint64_t seq = 0;  ///< FCFS order within a batch
+};
+
+/**
+ * Batch-processing admission controller in front of the gSB manager.
+ * Cloud providers customize permission checking via a predicate (e.g.
+ * forbid spot vSSDs from harvesting, or high-priority vSSDs from
+ * donating).
+ */
+class AdmissionControl
+{
+  public:
+    /** Return false to reject the action. */
+    using PermissionFn = std::function<bool(const PendingAction &)>;
+
+    AdmissionControl(GsbManager &gsb, EventQueue &eq,
+                     SimTime batch_interval);
+
+    /** Install a provider permission policy (nullptr allows all). */
+    void setPermissionCheck(PermissionFn fn) { permit_ = std::move(fn); }
+
+    /** Queue an action for the next batch. */
+    void submit(PendingAction action);
+
+    /**
+     * Process the current batch now: filter inadmissible actions,
+     * execute Make_Harvestable actions first, then Harvest actions in
+     * FCFS order tie-broken by fewest currently-held channels.
+     */
+    void flush();
+
+    /** Start periodic flushing every batch_interval. */
+    void start();
+    void stop() { running_ = false; }
+
+    std::size_t pending() const { return batch_.size(); }
+    std::uint64_t processed() const { return processed_; }
+    std::uint64_t rejected() const { return rejected_; }
+
+  private:
+    void scheduleFlush();
+
+    GsbManager &gsb_;
+    EventQueue &eq_;
+    SimTime interval_;
+    PermissionFn permit_;
+    std::vector<PendingAction> batch_;
+    bool running_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t processed_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CORE_ADMISSION_CONTROL_H

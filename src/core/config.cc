@@ -1,0 +1,16 @@
+#include "src/core/config.h"
+
+namespace fleetio {
+
+double
+FleetIoConfig::alphaForCluster(int cluster) const
+{
+    switch (cluster) {
+      case 0: return alpha_lc1;
+      case 1: return alpha_lc2;
+      case 2: return alpha_bi;
+      default: return unified_alpha;
+    }
+}
+
+}  // namespace fleetio

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * FleetIO framework configuration — the RL-side half of paper Table 3
+ * plus action-space and admission-control knobs.
+ */
+#ifndef FLEETIO_CORE_CONFIG_H
+#define FLEETIO_CORE_CONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rl/ppo.h"
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/** Tunables of the FleetIO RL framework. */
+struct FleetIoConfig
+{
+    /** RL decision interval (Table 3: 2 s). */
+    SimTime decision_window = sec(2);
+
+    /** Windows stacked into one RL state (§3.3.1: three). */
+    int state_stack = 3;
+
+    /** Multi-agent reward blend (Eq. 2; Table 3: 0.6). */
+    double beta = 0.6;
+
+    /** Unified reward alpha for unclassified workloads (§3.4). */
+    double unified_alpha = 0.01;
+
+    /** Guaranteed SLO-violation budget (Eq. 1 denominator; §3.3.3: 1 %). */
+    double slo_vio_guar = 0.01;
+
+    /** Fine-tuned alphas per cluster (§3.8): LC-1, LC-2, BI. */
+    double alpha_lc1 = 2.5e-2;
+    double alpha_lc2 = 5e-3;
+    double alpha_bi = 0.0;
+
+    /**
+     * Discrete bandwidth levels (MB/s) for the Harvest and
+     * Make_Harvestable heads. Defaults cover 0-8 channels of 64 MB/s
+     * in steps of two.
+     */
+    std::vector<double> harvest_bw_levels = {0, 128, 256, 384, 512};
+    std::vector<double> harvestable_bw_levels = {0, 128, 256, 384, 512};
+
+    /** Admission-control batching interval (§3.5: 50 ms). */
+    SimTime admission_batch = msec(50);
+
+    /** Fine-tune (PPO update) cadence in decision windows (§4.7: 10). */
+    int train_interval_windows = 10;
+
+    /**
+     * Bootstrap phase: for the first N decision windows the controller
+     * executes the heuristic teacher (§3.3.2's action guidance) and
+     * behaviour-clones it into each agent — our stand-in for the
+     * paper's offline pre-training on out-of-evaluation workloads —
+     * before switching to on-policy PPO fine-tuning.
+     */
+    int teacher_windows = 0;
+
+    /** Hidden layer sizes (Table 3: [50, 50]). */
+    std::vector<std::size_t> hidden_sizes = {50, 50};
+
+    /** PPO hyper-parameters (Table 3: lr 1e-4, gamma 0.9, batch 32). */
+    rl::PpoTrainer::Config ppo{};
+
+    /** RL states tracked per window (Table 1's nine + two shared). */
+    static constexpr std::size_t kStatesPerWindow = 11;
+
+    /** Dimension of the stacked state vector. */
+    std::size_t stateDim() const
+    {
+        return kStatesPerWindow * std::size_t(state_stack);
+    }
+
+    /** Pick the fine-tuned alpha for a learned cluster id (0..2),
+     *  or the unified alpha for unknown (-1). */
+    double alphaForCluster(int cluster) const;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CORE_CONFIG_H

@@ -1,0 +1,214 @@
+#include "src/core/fleetio_controller.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/core/teacher.h"
+
+namespace fleetio {
+
+FleetIoController::FleetIoController(const FleetIoConfig &cfg,
+                                     EventQueue &eq, VssdManager &vssds,
+                                     GsbManager &gsb)
+    : cfg_(cfg),
+      eq_(eq),
+      vssds_(vssds),
+      gsb_(gsb),
+      admission_(gsb, eq, cfg_.admission_batch),
+      extractor_(cfg_, vssds.device().geometry())
+{
+}
+
+FleetIoAgent &
+FleetIoController::addVssd(Vssd &vssd, double alpha)
+{
+    Managed m;
+    m.vssd = &vssd;
+    m.agent = std::make_unique<FleetIoAgent>(vssd.id(), cfg_,
+                                             seed_counter_);
+    seed_counter_ = seed_counter_ * 6364136223846793005ull + 1442695040888963407ull;
+    m.agent->setAlpha(alpha);
+    managed_.push_back(std::move(m));
+    agents_.push_back(managed_.back().agent.get());
+    return *managed_.back().agent;
+}
+
+FleetIoAgent *
+FleetIoController::agent(VssdId id)
+{
+    for (auto &m : managed_) {
+        if (m.vssd->id() == id)
+            return m.agent.get();
+    }
+    return nullptr;
+}
+
+void
+FleetIoController::setTraining(bool on)
+{
+    for (auto &m : managed_)
+        m.agent->setTraining(on);
+}
+
+void
+FleetIoController::setDeterministic(bool on)
+{
+    for (auto &m : managed_)
+        m.agent->setDeterministic(on);
+}
+
+void
+FleetIoController::setClassifier(const WorkloadClassifier *classifier,
+                                 FeatureProvider provider)
+{
+    classifier_ = classifier;
+    feature_provider_ = std::move(provider);
+}
+
+void
+FleetIoController::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    admission_.start();
+    scheduleTick();
+}
+
+void
+FleetIoController::stop()
+{
+    running_ = false;
+    admission_.stop();
+}
+
+void
+FleetIoController::scheduleTick()
+{
+    eq_.scheduleAfter(cfg_.decision_window, [this]() {
+        if (!running_)
+            return;
+        tick();
+        scheduleTick();
+    });
+}
+
+double
+FleetIoController::lifetimeMeanReward(VssdId id) const
+{
+    for (const auto &m : managed_) {
+        if (m.vssd->id() == id && m.reward_count > 0)
+            return m.reward_sum / double(m.reward_count);
+    }
+    return 0.0;
+}
+
+void
+FleetIoController::applyAction(Managed &m, const AgentAction &action)
+{
+    // Set_Priority applies immediately on the vSSD's I/O (§3.3.2).
+    m.vssd->setPriority(action.priority);
+
+    // Resource actions go through batched admission control.
+    if (action.harvestable_bw_mbps > 0 ||
+        gsb_.donatedChannels(m.vssd->id()) > 0) {
+        admission_.submit(PendingAction{
+            m.vssd->id(), PendingAction::Type::kMakeHarvestable,
+            action.harvestable_bw_mbps, 0});
+    }
+    if (action.harvest_bw_mbps > 0 ||
+        gsb_.heldChannels(m.vssd->id()) > 0) {
+        admission_.submit(PendingAction{
+            m.vssd->id(), PendingAction::Type::kHarvest,
+            action.harvest_bw_mbps, 0});
+    }
+}
+
+void
+FleetIoController::tick()
+{
+    const std::size_t n = managed_.size();
+    if (n == 0)
+        return;
+    ++windows_;
+
+    // 1. Per-vSSD window metrics (before rolling the windows).
+    const SimTime win = cfg_.decision_window;
+    std::vector<double> iops(n), vio(n), single(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const Vssd &v = *managed_[i].vssd;
+        iops[i] = v.bandwidth().windowIops(win);
+        vio[i] = v.latency().windowSloViolation();
+        single[i] = singleReward(
+            v.bandwidth().windowMBps(win),
+            v.guaranteedBandwidthMBps(vssds_.device().geometry()),
+            vio[i], cfg_.slo_vio_guar, managed_[i].agent->alpha());
+    }
+
+    // 2. Multi-agent blended rewards (Eq. 2).
+    const std::vector<double> rewards =
+        multiAgentRewards(single, cfg_.beta);
+
+    // 3. Per-agent: credit reward, refresh workload type, build state,
+    //    act (teacher-guided during the bootstrap phase), apply.
+    const bool teacher_phase =
+        windows_ <= std::uint64_t(std::max(cfg_.teacher_windows, 0));
+    for (std::size_t i = 0; i < n; ++i) {
+        Managed &m = managed_[i];
+        FleetIoAgent &agent = *m.agent;
+
+        agent.completeTransition(rewards[i]);
+        m.reward_sum += rewards[i];
+        ++m.reward_count;
+
+        if (classifier_ != nullptr && feature_provider_) {
+            if (auto f = feature_provider_(m.vssd->id())) {
+                const auto assign =
+                    classifier_->classify(f->toVector());
+                agent.setAlpha(cfg_.alphaForCluster(assign.cluster));
+            }
+        }
+
+        SharedState shared;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i)
+                continue;
+            shared.sum_iops += iops[j];
+            shared.sum_slo_vio += vio[j];
+        }
+        extractor_.push(m.vssd->id(),
+                        extractor_.windowState(*m.vssd, shared));
+        const rl::Vector state = extractor_.stacked(m.vssd->id());
+
+        if (teacher_phase && agent.training()) {
+            // Bootstrap: execute the heuristic teacher and clone it.
+            const AgentAction action = teacherAction(
+                *m.vssd, gsb_, vssds_.device().geometry(),
+                cfg_.decision_window, cfg_);
+            // Value target: discounted return of a steady reward.
+            const double vt =
+                rewards[i] / (1.0 - cfg_.ppo.gamma);
+            agent.imitate(state, agent.mapper().encode(action), vt);
+            applyAction(m, action);
+        } else {
+            const AgentAction action = agent.decide(state);
+            applyAction(m, action);
+        }
+    }
+
+    // 4. Roll the observation windows and nudge GC.
+    for (auto &m : managed_) {
+        m.vssd->rollWindow();
+        m.vssd->gc().maybeStart();
+    }
+
+    // 5. Periodic fine-tuning (every train_interval_windows).
+    if (cfg_.train_interval_windows > 0 &&
+        windows_ % std::uint64_t(cfg_.train_interval_windows) == 0) {
+        for (auto &m : managed_) {
+            m.agent->train(extractor_.stacked(m.vssd->id()));
+        }
+    }
+}
+
+}  // namespace fleetio

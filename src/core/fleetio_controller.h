@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The FleetIO controller: wires one RL agent into every managed vSSD,
+ * runs the decision loop every window, computes Eq. 1/Eq. 2 rewards,
+ * applies Set_Priority directly and routes Harvest/Make_Harvestable
+ * through admission control, and schedules PPO fine-tuning.
+ */
+#ifndef FLEETIO_CORE_FLEETIO_CONTROLLER_H
+#define FLEETIO_CORE_FLEETIO_CONTROLLER_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cluster/features.h"
+#include "src/cluster/workload_classifier.h"
+#include "src/core/admission_control.h"
+#include "src/core/agent.h"
+#include "src/core/config.h"
+#include "src/core/reward.h"
+#include "src/core/state_extractor.h"
+#include "src/harvest/gsb_manager.h"
+#include "src/virt/vssd.h"
+
+namespace fleetio {
+
+/**
+ * Top-level FleetIO framework object (Fig. 5). Construct it over an
+ * existing virtualized-SSD substrate, add the vSSDs it should manage,
+ * then start() it alongside the workloads.
+ */
+class FleetIoController
+{
+  public:
+    /** Optional per-window feature provider for online workload typing
+     *  (returns nothing when too little trace accumulated). */
+    using FeatureProvider =
+        std::function<std::optional<IoFeatures>(VssdId)>;
+
+    FleetIoController(const FleetIoConfig &cfg, EventQueue &eq,
+                      VssdManager &vssds, GsbManager &gsb);
+
+    /**
+     * Register a vSSD under FleetIO management, deploying a fresh agent
+     * with reward coefficient @p alpha.
+     */
+    FleetIoAgent &addVssd(Vssd &vssd, double alpha);
+
+    FleetIoAgent *agent(VssdId id);
+    std::size_t numAgents() const { return agents_.size(); }
+
+    /** Begin the periodic decision loop (also starts admission). */
+    void start();
+    void stop();
+
+    /** Run exactly one decision tick now (tests / benches). */
+    void tick();
+
+    /** Training on/off for every agent (deployment = off). */
+    void setTraining(bool on);
+
+    /** Greedy actions instead of sampling. */
+    void setDeterministic(bool on);
+
+    /** Install the online workload classifier (§3.4). */
+    void setClassifier(const WorkloadClassifier *classifier,
+                       FeatureProvider provider);
+
+    AdmissionControl &admission() { return admission_; }
+    const FleetIoConfig &config() const { return cfg_; }
+    StateExtractor &states() { return extractor_; }
+
+    /** Decision windows elapsed. */
+    std::uint64_t windows() const { return windows_; }
+
+    /** Mean blended reward observed over the run, per agent. */
+    double lifetimeMeanReward(VssdId id) const;
+
+  private:
+    struct Managed
+    {
+        Vssd *vssd;
+        std::unique_ptr<FleetIoAgent> agent;
+        double reward_sum = 0.0;
+        std::uint64_t reward_count = 0;
+    };
+
+    void scheduleTick();
+    void applyAction(Managed &m, const AgentAction &action);
+
+    FleetIoConfig cfg_;
+    EventQueue &eq_;
+    VssdManager &vssds_;
+    GsbManager &gsb_;
+    AdmissionControl admission_;
+    StateExtractor extractor_;
+    std::vector<Managed> managed_;
+    std::vector<FleetIoAgent *> agents_;
+
+    const WorkloadClassifier *classifier_ = nullptr;
+    FeatureProvider feature_provider_;
+
+    bool running_ = false;
+    std::uint64_t windows_ = 0;
+    std::uint64_t seed_counter_ = 0x517cc1b727220a95ull;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CORE_FLEETIO_CONTROLLER_H

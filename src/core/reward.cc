@@ -1,0 +1,42 @@
+#include "src/core/reward.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fleetio {
+
+double
+singleReward(double avg_bw_mbps, double bw_guar_mbps, double slo_vio,
+             double slo_vio_guar, double alpha)
+{
+    assert(alpha >= 0.0 && alpha <= 1.0);
+    const double bw_term =
+        bw_guar_mbps > 0 ? avg_bw_mbps / bw_guar_mbps : 0.0;
+    const double vio_term =
+        slo_vio_guar > 0 ? slo_vio / slo_vio_guar : 0.0;
+    return (1.0 - alpha) * bw_term - alpha * vio_term;
+}
+
+std::vector<double>
+multiAgentRewards(const std::vector<double> &single_rewards, double beta)
+{
+    const std::size_t n = single_rewards.size();
+    std::vector<double> out(n, 0.0);
+    if (n == 0)
+        return out;
+    if (n == 1) {
+        out[0] = single_rewards[0];
+        return out;
+    }
+    double total = 0.0;
+    for (double r : single_rewards)
+        total += r;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double others =
+            (total - single_rewards[i]) / double(n - 1);
+        out[i] = beta * single_rewards[i] + (1.0 - beta) * others;
+    }
+    return out;
+}
+
+}  // namespace fleetio

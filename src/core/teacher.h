@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The heuristic teacher policy: a direct transcription of the paper's
+ * qualitative action guidance (§3.3.2) —
+ *   - harvest more bandwidth when the request queue backs up,
+ *   - make idle bandwidth harvestable (less while GC runs),
+ *   - raise priority under SLO violations / queue delay, stay low
+ *     while harvesting from others.
+ * Used to bootstrap agents (behaviour cloning approximates the paper's
+ * offline pre-training) and as an interpretable reference policy.
+ */
+#ifndef FLEETIO_CORE_TEACHER_H
+#define FLEETIO_CORE_TEACHER_H
+
+#include "src/core/action.h"
+#include "src/core/config.h"
+#include "src/harvest/gsb_manager.h"
+#include "src/virt/vssd.h"
+
+namespace fleetio {
+
+/** Tunables of the teacher rules. */
+struct TeacherConfig
+{
+    /** Queue depth (pages) that signals unmet bandwidth demand. */
+    double harvest_queue_threshold = 24.0;
+
+    /** Pages of queue depth per additional harvested channel. */
+    double pages_per_channel = 24.0;
+
+    /** Donate only when the window SLO-violation rate is below this. */
+    double donate_vio_ceiling = 0.05;
+
+    /** Keep this fraction of the guaranteed bandwidth as headroom
+     *  when donating. */
+    double donate_margin = 0.25;
+};
+
+/**
+ * Compute the teacher's action for @p vssd given the current window
+ * statistics (call before rolling the window).
+ */
+AgentAction teacherAction(const Vssd &vssd, const GsbManager &gsb,
+                          const SsdGeometry &geo, SimTime window,
+                          const FleetIoConfig &cfg,
+                          const TeacherConfig &tcfg = TeacherConfig{});
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_CORE_TEACHER_H

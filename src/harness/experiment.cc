@@ -1,0 +1,139 @@
+#include "src/harness/experiment.h"
+
+#include <map>
+#include <tuple>
+
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+
+double
+ExperimentResult::aggregateBwMBps() const
+{
+    double s = 0.0;
+    for (const auto &t : tenants)
+        s += t.avg_bw_mbps;
+    return s;
+}
+
+double
+ExperimentResult::meanLatencySensitiveP99() const
+{
+    double s = 0.0;
+    int n = 0;
+    for (const auto &t : tenants) {
+        if (!t.bandwidth_intensive) {
+            s += double(t.p99);
+            ++n;
+        }
+    }
+    return n ? s / n : 0.0;
+}
+
+double
+ExperimentResult::meanBandwidthIntensiveBw() const
+{
+    double s = 0.0;
+    int n = 0;
+    for (const auto &t : tenants) {
+        if (t.bandwidth_intensive) {
+            s += t.avg_bw_mbps;
+            ++n;
+        }
+    }
+    return n ? s / n : 0.0;
+}
+
+SimTime
+calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
+              const TestbedOptions &opts)
+{
+    using Key = std::tuple<int, std::size_t, std::uint32_t,
+                           std::uint32_t, long>;
+    static std::map<Key, SimTime> cache;
+    const Key key{int(kind), num_tenants, opts.geo.blocks_per_chip,
+                  opts.geo.pages_per_block,
+                  long(opts.intensity * 1000)};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    // Solo run on a hardware-isolated share of the device.
+    TestbedOptions solo = opts;
+    solo.seed = 0xCA11B7A7Eull;  // calibration uses its own seed
+    Testbed tb(solo);
+    const auto &geo = tb.device().geometry();
+    const auto split = ChannelAllocator::equalSplit(geo, num_tenants);
+    const std::uint64_t quota = geo.totalBlocks() / num_tenants;
+    Vssd &v = tb.addTenant(kind, split[0], quota, kTimeNever);
+    tb.warmupFill();
+    tb.startWorkloads();
+    tb.run(sec(1));
+    tb.beginMeasurement();
+    tb.run(sec(4));
+    tb.endMeasurement();
+    const SimTime p99 = v.latency().quantile(0.99);
+    // Guard against degenerate calibration (no completed I/O).
+    const SimTime slo = p99 > 0 ? p99 : msec(10);
+    cache[key] = slo;
+    return slo;
+}
+
+ExperimentResult
+runExperiment(const ExperimentSpec &spec)
+{
+    // 1. Per-tenant SLOs from hardware-isolated calibration.
+    std::vector<SimTime> slos;
+    slos.reserve(spec.workloads.size());
+    for (WorkloadKind kind : spec.workloads) {
+        slos.push_back(
+            calibratedSlo(kind, spec.workloads.size(), spec.opts));
+    }
+
+    // 2. Build the testbed under the policy.
+    Testbed tb(spec.opts);
+    auto policy = makePolicy(spec.policy);
+    policy->setup(tb, spec.workloads, slos);
+
+    // 3. Warm up: pre-fill capacity, settle into steady state.
+    tb.warmupFill();
+    tb.startWorkloads();
+    tb.run(spec.warm_run);
+
+    // 4. Policy preparation (RL pre-training, DNN profiling, ...).
+    policy->prepare(tb);
+
+    // 5. Measure.
+    policy->beforeMeasure(tb);
+    tb.beginMeasurement();
+    tb.run(spec.measure);
+    tb.endMeasurement();
+
+    // 6. Collect.
+    ExperimentResult res;
+    res.policy = policy->name();
+    res.measured = spec.measure;
+    res.avg_util = tb.avgUtilization();
+    res.p95_util = tb.p95Utilization();
+    res.write_amp = tb.device().writeAmplification();
+    for (auto *v : tb.vssds().active()) {
+        TenantResult t;
+        t.workload = tb.workload(v->id()).name();
+        t.bandwidth_intensive =
+            isBandwidthIntensive(tb.tenantKind(v->id()));
+        t.avg_bw_mbps = v->bandwidth().totalMBps(spec.measure);
+        t.iops = double(v->latency().totalCount()) /
+                 toSeconds(spec.measure);
+        t.p50 = v->latency().quantile(0.50);
+        t.p95 = v->latency().quantile(0.95);
+        t.p99 = v->latency().quantile(0.99);
+        t.p999 = v->latency().quantile(0.999);
+        t.slo_violation = v->latency().sloViolation();
+        t.requests = v->latency().totalCount();
+        t.slo = v->config().slo;
+        res.tenants.push_back(std::move(t));
+    }
+    return res;
+}
+
+}  // namespace fleetio

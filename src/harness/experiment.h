@@ -1,0 +1,79 @@
+/**
+ * @file
+ * End-to-end experiment runner: calibrates per-tenant SLOs, builds a
+ * testbed under a policy, warms up, prepares (training/profiling),
+ * measures, and returns the metrics every figure of the paper is
+ * derived from.
+ */
+#ifndef FLEETIO_HARNESS_EXPERIMENT_H
+#define FLEETIO_HARNESS_EXPERIMENT_H
+
+#include <string>
+#include <vector>
+
+#include "src/harness/testbed.h"
+#include "src/policies/policy.h"
+
+namespace fleetio {
+
+/** Measured outcome for one tenant. */
+struct TenantResult
+{
+    std::string workload;
+    bool bandwidth_intensive = false;
+    double avg_bw_mbps = 0.0;
+    double iops = 0.0;
+    SimTime p50 = 0, p95 = 0, p99 = 0, p999 = 0;
+    double slo_violation = 0.0;
+    std::uint64_t requests = 0;
+    SimTime slo = 0;
+};
+
+/** Measured outcome of one experiment run. */
+struct ExperimentResult
+{
+    std::string policy;
+    std::vector<TenantResult> tenants;
+    double avg_util = 0.0;   ///< mean device bandwidth utilization [0,1]
+    double p95_util = 0.0;
+    double write_amp = 1.0;
+    SimTime measured = 0;
+
+    /** Sum of tenant bandwidths (MB/s). */
+    double aggregateBwMBps() const;
+
+    /** Mean P99 (ns) over latency-sensitive tenants. */
+    double meanLatencySensitiveP99() const;
+
+    /** Mean bandwidth (MB/s) over bandwidth-intensive tenants. */
+    double meanBandwidthIntensiveBw() const;
+};
+
+/** Everything needed to run one experiment. */
+struct ExperimentSpec
+{
+    std::vector<WorkloadKind> workloads;
+    PolicyKind policy = PolicyKind::kHardwareIsolation;
+    TestbedOptions opts{};
+    SimTime warm_run = sec(2);   ///< steady-state settle before prepare
+    SimTime measure = sec(10);   ///< measurement duration
+};
+
+/**
+ * Run one experiment. Deterministic for a fixed spec (all RNG seeds
+ * derive from opts.seed).
+ */
+ExperimentResult runExperiment(const ExperimentSpec &spec);
+
+/**
+ * The tail-latency SLO for @p kind when hardware-isolated among
+ * @p num_tenants equal tenants: the P99 latency measured in a solo
+ * calibration run (paper §3.3.1 default). Results are cached per
+ * (kind, share, geometry, intensity).
+ */
+SimTime calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
+                      const TestbedOptions &opts);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_HARNESS_EXPERIMENT_H

@@ -1,0 +1,121 @@
+#include "src/harness/reporting.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace fleetio {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << std::left << std::setw(int(widths[c]) + 2)
+               << cells[c];
+        }
+        os << '\n';
+    };
+    line(headers_);
+    std::string sep;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        sep += std::string(widths[c], '-') + "  ";
+    os << sep << '\n';
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+}
+
+std::string
+fmtPercent(double fraction, int precision)
+{
+    return fmtDouble(fraction * 100.0, precision) + "%";
+}
+
+std::string
+fmtLatencyMs(SimTime ns, int precision)
+{
+    return fmtDouble(toMillis(ns), precision) + "ms";
+}
+
+double
+normalizeTo(double value, double base)
+{
+    return base > 0 ? value / base : 0.0;
+}
+
+void
+printExperimentSummary(const ExperimentResult &res, std::ostream &os)
+{
+    os << res.policy << ": util=" << fmtPercent(res.avg_util)
+       << " (p95 " << fmtPercent(res.p95_util) << ")"
+       << ", WA=" << fmtDouble(res.write_amp) << '\n';
+}
+
+void
+printExperimentDetail(const ExperimentResult &res, std::ostream &os)
+{
+    os << "== " << res.policy << " ==\n";
+    Table t({"tenant", "type", "BW (MB/s)", "IOPS", "P50", "P95",
+             "P99", "P99.9", "SLO vio"});
+    for (const auto &ten : res.tenants) {
+        t.addRow({ten.workload,
+                  ten.bandwidth_intensive ? "BI" : "LS",
+                  fmtDouble(ten.avg_bw_mbps, 1),
+                  fmtDouble(ten.iops, 0),
+                  fmtLatencyMs(ten.p50),
+                  fmtLatencyMs(ten.p95),
+                  fmtLatencyMs(ten.p99),
+                  fmtLatencyMs(ten.p999),
+                  fmtPercent(ten.slo_violation)});
+    }
+    t.print(os);
+    os << "device util avg=" << fmtPercent(res.avg_util) << " p95="
+       << fmtPercent(res.p95_util)
+       << " write-amp=" << fmtDouble(res.write_amp) << "\n\n";
+}
+
+}  // namespace fleetio

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Console / CSV reporting shared by every bench: fixed-width tables
+ * matching the rows the paper's figures plot.
+ */
+#ifndef FLEETIO_HARNESS_REPORTING_H
+#define FLEETIO_HARNESS_REPORTING_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/harness/experiment.h"
+
+namespace fleetio {
+
+/** Minimal fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; cells beyond the header count are dropped. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmtDouble(double v, int precision = 2);
+std::string fmtPercent(double fraction, int precision = 1);
+std::string fmtLatencyMs(SimTime ns, int precision = 2);
+
+/** Ratio guarded against a zero base. */
+double normalizeTo(double value, double base);
+
+/** One-line summary of an experiment (policy, util, P99s, BWs). */
+void printExperimentSummary(const ExperimentResult &res,
+                            std::ostream &os);
+
+/** Detailed per-tenant table for an experiment. */
+void printExperimentDetail(const ExperimentResult &res, std::ostream &os);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_HARNESS_REPORTING_H

@@ -1,0 +1,152 @@
+#include "src/harness/testbed.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fleetio {
+
+Testbed::Testbed(const TestbedOptions &opts)
+    : opts_(opts),
+      dev_(opts.geo, eq_),
+      hbt_(opts.geo),
+      vssds_(dev_, hbt_),
+      gsb_(dev_, vssds_),
+      sched_(dev_, vssds_),
+      tenant_seed_(opts.seed * 0x2545F4914F6CDD1Dull + 1)
+{
+    // Wire block-erase notifications from every tenant's GC into the
+    // gSB manager so reclaimed gSBs shrink and eventually retire.
+    vssds_.setOnErased([this](ChannelId ch, ChipId chip, BlockId blk) {
+        gsb_.onBlockErased(ch, chip, blk);
+    });
+}
+
+Vssd &
+Testbed::addTenant(WorkloadKind kind,
+                   const std::vector<ChannelId> &channels,
+                   std::uint64_t quota, SimTime slo)
+{
+    Vssd::Config cfg;
+    cfg.id = VssdId(vssds_.size());
+    cfg.name = workloadName(kind);
+    cfg.quota_blocks = quota;
+    cfg.channels = channels;
+    cfg.slo = slo;
+    Vssd &v = vssds_.create(cfg);
+
+    const WorkloadProfile profile = profileFor(kind, opts_.intensity);
+    tenant_seed_ = tenant_seed_ * 6364136223846793005ull + 1442695040888963407ull;
+    workloads_.push_back(std::make_unique<SyntheticWorkload>(
+        profile, eq_, sched_, v.id(), v.ftl().logicalPages(),
+        tenant_seed_));
+    kinds_.push_back(kind);
+    return v;
+}
+
+void
+Testbed::warmupFill()
+{
+    // Direct metadata fill: program mappings through the FTL without
+    // simulating time, then reset the wear/traffic counters the fill
+    // would otherwise pollute. GC pressure from the fill is real — the
+    // paper warms vSSDs until >= 50 % of free blocks are consumed.
+    for (auto *v : vssds_.active()) {
+        Ftl &ftl = v->ftl();
+        const std::uint64_t target = std::uint64_t(
+            double(ftl.logicalPages()) * opts_.warmup_fill);
+        for (Lpa lpa = 0; lpa < target; ++lpa) {
+            Ppa ppa;
+            if (!ftl.allocateWrite(lpa, ppa)) {
+                // Quota filled to the brim: stop early; GC will make
+                // room during the run.
+                break;
+            }
+        }
+    }
+}
+
+void
+Testbed::startWorkloads()
+{
+    for (auto &w : workloads_)
+        w->start();
+}
+
+void
+Testbed::stopWorkloads()
+{
+    for (auto &w : workloads_)
+        w->stop();
+}
+
+void
+Testbed::run(SimTime duration)
+{
+    eq_.runUntil(eq_.now() + duration);
+}
+
+void
+Testbed::beginMeasurement()
+{
+    for (auto *v : vssds_.active()) {
+        v->latency().reset();
+        v->latency().setSlo(v->config().slo);
+        v->bandwidth().reset();
+        v->queue().rollWindow();
+    }
+    dev_.resetBusyWindow();
+    util_samples_.clear();
+    measuring_ = true;
+    measure_start_ = eq_.now();
+    last_sample_ = eq_.now();
+    sampleUtilization();
+}
+
+void
+Testbed::sampleUtilization()
+{
+    eq_.scheduleAfter(opts_.window, [this]() {
+        if (!measuring_)
+            return;
+        const SimTime elapsed = eq_.now() - last_sample_;
+        if (elapsed > 0) {
+            util_samples_.push_back(dev_.busUtilization(elapsed));
+            dev_.resetBusyWindow();
+            last_sample_ = eq_.now();
+        }
+        sampleUtilization();
+    });
+}
+
+void
+Testbed::endMeasurement()
+{
+    measuring_ = false;
+    for (auto *v : vssds_.active())
+        v->rollWindow();
+}
+
+double
+Testbed::avgUtilization() const
+{
+    if (util_samples_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double u : util_samples_)
+        s += u;
+    return s / double(util_samples_.size());
+}
+
+double
+Testbed::p95Utilization() const
+{
+    if (util_samples_.empty())
+        return 0.0;
+    std::vector<double> copy = util_samples_;
+    std::sort(copy.begin(), copy.end());
+    const std::size_t idx = std::min(
+        copy.size() - 1, std::size_t(0.95 * double(copy.size())));
+    return copy[idx];
+}
+
+}  // namespace fleetio

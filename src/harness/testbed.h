@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment testbed: one simulated SSD plus collocated tenants
+ * (vSSD + workload pairs), with warm-up, measurement windows, and
+ * device-utilization sampling — the scaffolding every benchmark and
+ * integration test builds on.
+ */
+#ifndef FLEETIO_HARNESS_TESTBED_H
+#define FLEETIO_HARNESS_TESTBED_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harvest/gsb_manager.h"
+#include "src/harvest/harvested_block_table.h"
+#include "src/sim/event_queue.h"
+#include "src/ssd/flash_device.h"
+#include "src/virt/io_scheduler.h"
+#include "src/virt/vssd.h"
+#include "src/workloads/generators.h"
+#include "src/workloads/workload.h"
+
+namespace fleetio {
+
+/** Scale/behaviour knobs shared by tests and benches. */
+struct TestbedOptions
+{
+    SsdGeometry geo = benchGeometry();
+
+    /**
+     * Decision/measurement window. Benches compress the paper's 2 s
+     * windows (the RL dynamics depend on windows, not wall seconds).
+     */
+    SimTime window = msec(100);
+
+    /** Workload intensity multiplier (see profileFor). */
+    double intensity = 1.0;
+
+    std::uint64_t seed = 1;
+
+    /** Fraction of each tenant's logical space pre-filled before the
+     *  run so GC is active (paper §4.1: >= 50 % of free blocks). */
+    double warmup_fill = 0.5;
+};
+
+/**
+ * Owns the full simulated stack. Tenants are added with explicit
+ * channel sets and block quotas (the policy decides those), each paired
+ * with a calibrated synthetic workload.
+ */
+class Testbed
+{
+  public:
+    explicit Testbed(const TestbedOptions &opts);
+
+    EventQueue &eq() { return eq_; }
+    FlashDevice &device() { return dev_; }
+    const FlashDevice &device() const { return dev_; }
+    HarvestedBlockTable &hbt() { return hbt_; }
+    VssdManager &vssds() { return vssds_; }
+    GsbManager &gsb() { return gsb_; }
+    IoScheduler &scheduler() { return sched_; }
+    const TestbedOptions &options() const { return opts_; }
+
+    /**
+     * Create a tenant: a vSSD on @p channels with @p quota blocks and
+     * SLO @p slo, driven by the profile of @p kind.
+     * @return the new vSSD.
+     */
+    Vssd &addTenant(WorkloadKind kind,
+                    const std::vector<ChannelId> &channels,
+                    std::uint64_t quota, SimTime slo);
+
+    std::size_t numTenants() const { return workloads_.size(); }
+    SyntheticWorkload &workload(VssdId id) { return *workloads_[id]; }
+    WorkloadKind tenantKind(VssdId id) const { return kinds_[id]; }
+
+    /** Pre-fill every tenant's logical space (no simulated time). */
+    void warmupFill();
+
+    /** Start / stop all workload generators. */
+    void startWorkloads();
+    void stopWorkloads();
+
+    /** Advance the simulation by @p duration. */
+    void run(SimTime duration);
+
+    /**
+     * Reset all tenant statistics and begin sampling device bandwidth
+     * utilization once per window.
+     */
+    void beginMeasurement();
+
+    /** Stop sampling; folds trailing windows. */
+    void endMeasurement();
+
+    SimTime measureStart() const { return measure_start_; }
+
+    /** Mean / 95th-percentile of the per-window device utilization. */
+    double avgUtilization() const;
+    double p95Utilization() const;
+    const std::vector<double> &utilizationSamples() const
+    {
+        return util_samples_;
+    }
+
+  private:
+    void sampleUtilization();
+
+    TestbedOptions opts_;
+    EventQueue eq_;
+    FlashDevice dev_;
+    HarvestedBlockTable hbt_;
+    VssdManager vssds_;
+    GsbManager gsb_;
+    IoScheduler sched_;
+    std::vector<std::unique_ptr<SyntheticWorkload>> workloads_;
+    std::vector<WorkloadKind> kinds_;
+
+    bool measuring_ = false;
+    SimTime measure_start_ = 0;
+    SimTime last_sample_ = 0;
+    std::vector<double> util_samples_;
+    std::uint64_t tenant_seed_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_HARNESS_TESTBED_H

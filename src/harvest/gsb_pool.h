@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The gSB pool (paper Fig. 8): harvestable gSBs kept in a set of
+ * lock-free linked lists, one list per channel count (n_chls), indexed
+ * and sorted by n_chls for best-fit searching.
+ */
+#ifndef FLEETIO_HARVEST_GSB_POOL_H
+#define FLEETIO_HARVEST_GSB_POOL_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/harvest/gsb.h"
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * Lock-free pool of harvestable gSBs.
+ *
+ * Each list is a Treiber-style stack with logical deletion: insertion
+ * CASes a node onto the head; acquisition walks the list and CASes a
+ * per-node claim flag, so concurrent harvesters never hand out the same
+ * gSB twice. Claimed nodes are unlinked lazily during later walks.
+ * Node memory is owned by the pool and reclaimed on destruction — the
+ * simulator's bounded gSB population makes deferred physical reclamation
+ * safe without hazard pointers.
+ */
+class GsbPool
+{
+  public:
+    /** @param num_channels device channel count (number of lists). */
+    explicit GsbPool(std::uint32_t num_channels);
+    ~GsbPool();
+
+    GsbPool(const GsbPool &) = delete;
+    GsbPool &operator=(const GsbPool &) = delete;
+
+    /**
+     * Insert a harvestable gSB at the head of its n_chls list.
+     * @pre 1 <= gsb->numChannels() <= num_channels.
+     */
+    void insert(Gsb *gsb);
+
+    /**
+     * Acquire a gSB for @p requester with the paper's search order:
+     * the exact n_chls list, then smaller lists (descending), then
+     * larger lists (ascending). Skips gSBs whose home is @p requester
+     * (no self-harvesting).
+     * @return the claimed gSB, or nullptr when none is available.
+     */
+    Gsb *acquire(std::uint32_t n_chls, VssdId requester);
+
+    /**
+     * Remove a specific (unclaimed) gSB from the pool, e.g. when its
+     * home reclaims it before anyone harvests.
+     * @retval true it was present and is now removed.
+     */
+    bool remove(Gsb *gsb);
+
+    /** Unclaimed gSBs currently available. */
+    std::size_t available() const;
+
+    /** Unclaimed gSBs in the list for @p n_chls. */
+    std::size_t availableFor(std::uint32_t n_chls) const;
+
+    /** Total harvestable channels across available gSBs. */
+    std::uint64_t availableChannels() const;
+
+  private:
+    struct Node
+    {
+        std::atomic<Node *> next{nullptr};
+        std::atomic<bool> claimed{false};
+        Gsb *gsb = nullptr;
+    };
+
+    Gsb *tryAcquireFrom(std::size_t list, VssdId requester);
+
+    std::uint32_t num_lists_;
+    std::vector<std::atomic<Node *>> heads_;
+    // All nodes ever allocated; freed in the destructor.
+    std::vector<std::unique_ptr<Node>> arena_;
+    std::atomic<std::size_t> arena_lock_{0};  // spin guard for arena_
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_HARVEST_GSB_POOL_H

@@ -1,0 +1,38 @@
+#include "src/harvest/harvested_block_table.h"
+
+namespace fleetio {
+
+HarvestedBlockTable::HarvestedBlockTable(const SsdGeometry &geo)
+    : chips_(geo.chips_per_channel),
+      blocks_(geo.blocks_per_chip),
+      bits_(geo.totalBlocks(), false)
+{
+}
+
+void
+HarvestedBlockTable::mark(ChannelId ch, ChipId chip, BlockId blk)
+{
+    const std::size_t i = index(ch, chip, blk);
+    if (!bits_[i]) {
+        bits_[i] = true;
+        ++marked_;
+    }
+}
+
+void
+HarvestedBlockTable::clear(ChannelId ch, ChipId chip, BlockId blk)
+{
+    const std::size_t i = index(ch, chip, blk);
+    if (bits_[i]) {
+        bits_[i] = false;
+        --marked_;
+    }
+}
+
+bool
+HarvestedBlockTable::isMarked(ChannelId ch, ChipId chip, BlockId blk) const
+{
+    return bits_[index(ch, chip, blk)];
+}
+
+}  // namespace fleetio

@@ -1,0 +1,68 @@
+#include "src/policies/adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+
+void
+AdaptivePolicy::setup(Testbed &tb,
+                      const std::vector<WorkloadKind> &workloads,
+                      const std::vector<SimTime> &slos)
+{
+    assert(workloads.size() == slos.size());
+    const auto &geo = tb.device().geometry();
+    const std::size_t n = workloads.size();
+    const auto split = ChannelAllocator::equalSplit(geo, n);
+    const std::uint64_t quota = equalQuota(tb, n);
+    for (std::size_t i = 0; i < n; ++i)
+        tb.addTenant(workloads[i], split[i], quota, slos[i]);
+    tb.scheduler().usePriority(true);
+    tb.scheduler().useStride(false);
+
+    prev_bytes_.assign(n, 0);
+    // Keep a capacity floor so a briefly-idle tenant's live data does
+    // not end up squeezed onto one channel.
+    min_channels_ = std::max<std::uint32_t>(
+        1, geo.num_channels / std::uint32_t(4 * n));
+    scheduleRepartition(tb);
+}
+
+void
+AdaptivePolicy::scheduleRepartition(Testbed &tb)
+{
+    tb.eq().scheduleAfter(tb.options().window, [this, &tb]() {
+        repartition(tb);
+        scheduleRepartition(tb);
+    });
+}
+
+void
+AdaptivePolicy::repartition(Testbed &tb)
+{
+    const auto tenants = tb.vssds().active();
+    std::vector<double> weights;
+    weights.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+        const std::uint64_t total =
+            tenants[i]->bandwidth().totalBytes();
+        const std::uint64_t delta =
+            total >= prev_bytes_[i] ? total - prev_bytes_[i] : 0;
+        prev_bytes_[i] = total;
+        // eZNS reallocates by *utilization*: bandwidth relative to the
+        // channels currently allocated. Raw bandwidth would lock a
+        // shrunken tenant at the minimum (it can never demonstrate
+        // demand its allocation cannot serve).
+        const double channels = std::max<std::size_t>(
+            tenants[i]->ftl().channels().size(), 1);
+        weights.push_back(double(delta) / double(channels));
+    }
+    const auto split = ChannelAllocator::proportionalSplit(
+        tb.device().geometry(), weights, min_channels_);
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+        tenants[i]->ftl().setChannels(split[i]);
+}
+
+}  // namespace fleetio

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Adaptive baseline (eZNS-style, paper §4.1): the channels allocated to
+ * each vSSD in a window are proportional to its bandwidth utilization
+ * in the prior window.
+ */
+#ifndef FLEETIO_POLICIES_ADAPTIVE_H
+#define FLEETIO_POLICIES_ADAPTIVE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/policies/policy.h"
+
+namespace fleetio {
+
+class AdaptivePolicy : public Policy
+{
+  public:
+    std::string name() const override { return "Adaptive"; }
+
+    void setup(Testbed &tb, const std::vector<WorkloadKind> &workloads,
+               const std::vector<SimTime> &slos) override;
+
+  private:
+    void scheduleRepartition(Testbed &tb);
+    void repartition(Testbed &tb);
+
+    std::vector<std::uint64_t> prev_bytes_;
+    std::uint32_t min_channels_ = 1;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_POLICIES_ADAPTIVE_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The FleetIO policy: RL-managed vSSDs over (by default) hardware-
+ * isolated channels, with pre-training in prepare() and online
+ * fine-tuning thereafter. Also covers the paper's reward ablations
+ * (§4.4) and the mixed-isolation layout (§4.5).
+ */
+#ifndef FLEETIO_POLICIES_FLEETIO_POLICY_H
+#define FLEETIO_POLICIES_FLEETIO_POLICY_H
+
+#include <memory>
+
+#include "src/core/fleetio_controller.h"
+#include "src/policies/policy.h"
+
+namespace fleetio {
+
+class FleetIoPolicy : public Policy
+{
+  public:
+    struct Variant
+    {
+        /** Fine-tuned per-type alpha (false = unified alpha, §4.4). */
+        bool customized_alpha = true;
+        /** Multi-agent reward blend (1.0 = purely local, §4.4). */
+        double beta = 0.6;
+        /** Mixed HW/SW tenant layout of §4.5 instead of equal HW. */
+        bool mixed_layout = false;
+        /** Pre-training length in decision windows (first half runs the
+         *  behaviour-cloning teacher phase). */
+        int train_windows = 600;
+        std::string display_name = "FleetIO";
+    };
+
+    FleetIoPolicy() : FleetIoPolicy(Variant{}) {}
+    explicit FleetIoPolicy(const Variant &variant);
+
+    std::string name() const override { return variant_.display_name; }
+
+    void setup(Testbed &tb, const std::vector<WorkloadKind> &workloads,
+               const std::vector<SimTime> &slos) override;
+
+    /** Pre-train the agents: run train_windows decision windows. */
+    void prepare(Testbed &tb) override;
+
+    /** Deploy: freeze learning/exploration for the measured phase. */
+    void beforeMeasure(Testbed &tb) override;
+
+    FleetIoController *controller() { return controller_.get(); }
+
+  private:
+    Variant variant_;
+    std::unique_ptr<FleetIoController> controller_;
+};
+
+/**
+ * Mixed Isolation baseline of §4.5 (no RL): latency-sensitive tenants
+ * hardware-isolated, bandwidth-intensive tenants sharing the remaining
+ * channels under token bucket + stride.
+ */
+class MixedIsolationPolicy : public Policy
+{
+  public:
+    std::string name() const override { return "Mixed Isolation"; }
+
+    void setup(Testbed &tb, const std::vector<WorkloadKind> &workloads,
+               const std::vector<SimTime> &slos) override;
+};
+
+/**
+ * Shared helper: build the §4.5 mixed layout — LS tenants get equal
+ * hardware-isolated slices of the first half of the device, BI tenants
+ * share the second half (token bucket + stride among themselves).
+ */
+void buildMixedLayout(Testbed &tb,
+                      const std::vector<WorkloadKind> &workloads,
+                      const std::vector<SimTime> &slos);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_POLICIES_FLEETIO_POLICY_H

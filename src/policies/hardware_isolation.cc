@@ -1,0 +1,26 @@
+#include "src/policies/hardware_isolation.h"
+
+#include <cassert>
+
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+
+void
+HardwareIsolationPolicy::setup(Testbed &tb,
+                               const std::vector<WorkloadKind> &workloads,
+                               const std::vector<SimTime> &slos)
+{
+    assert(workloads.size() == slos.size());
+    const auto &geo = tb.device().geometry();
+    const auto split = ChannelAllocator::equalSplit(geo,
+                                                    workloads.size());
+    const std::uint64_t quota = equalQuota(tb, workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i)
+        tb.addTenant(workloads[i], split[i], quota, slos[i]);
+    // Priority FIFO with everyone at medium == plain per-channel FIFO.
+    tb.scheduler().usePriority(true);
+    tb.scheduler().useStride(false);
+}
+
+}  // namespace fleetio

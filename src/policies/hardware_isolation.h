@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Hardware Isolation baseline: each vSSD fully owns an equal share of
+ * the flash channels (paper §4.1) — strongest isolation, lowest
+ * utilization.
+ */
+#ifndef FLEETIO_POLICIES_HARDWARE_ISOLATION_H
+#define FLEETIO_POLICIES_HARDWARE_ISOLATION_H
+
+#include "src/policies/policy.h"
+
+namespace fleetio {
+
+class HardwareIsolationPolicy : public Policy
+{
+  public:
+    std::string name() const override { return "Hardware Isolation"; }
+
+    void setup(Testbed &tb, const std::vector<WorkloadKind> &workloads,
+               const std::vector<SimTime> &slos) override;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_POLICIES_HARDWARE_ISOLATION_H

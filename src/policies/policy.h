@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Resource-management policies compared in the paper's evaluation
+ * (§4.1): Hardware Isolation, SSDKeeper, Adaptive, Software Isolation,
+ * FleetIO (plus its reward-ablation variants) and the mixed-isolation
+ * configurations of §4.5.
+ */
+#ifndef FLEETIO_POLICIES_POLICY_H
+#define FLEETIO_POLICIES_POLICY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/testbed.h"
+#include "src/sim/types.h"
+#include "src/workloads/generators.h"
+
+namespace fleetio {
+
+/** The policies under evaluation. */
+enum class PolicyKind {
+    kHardwareIsolation,
+    kSsdKeeper,
+    kAdaptive,
+    kSoftwareIsolation,
+    kFleetIo,
+    kFleetIoUnifiedGlobal,    ///< ablation: unified alpha for all agents
+    kFleetIoCustomizedLocal,  ///< ablation: custom alpha, beta = 1
+    kMixedIsolation,          ///< §4.5 baseline: HW + SW tenants
+    kFleetIoMixed,            ///< §4.5: FleetIO over the mixed layout
+};
+
+/** Display name ("Hardware Isolation", "FleetIO", ...). */
+std::string policyName(PolicyKind kind);
+
+/**
+ * A policy builds the tenant layout on a fresh testbed, optionally runs
+ * a preparation phase (training / profiling), and keeps any periodic
+ * machinery (repartition timers, RL decision loops) running through
+ * measurement.
+ */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    virtual std::string name() const = 0;
+
+    /**
+     * Create one tenant per workload (channel sets, quotas, scheduler
+     * mode) and start any periodic machinery. @p slos holds the
+     * calibrated per-tenant latency SLOs.
+     */
+    virtual void setup(Testbed &tb,
+                       const std::vector<WorkloadKind> &workloads,
+                       const std::vector<SimTime> &slos) = 0;
+
+    /**
+     * Preparation phase executed after warm-up with workloads running
+     * (FleetIO: RL pre-training; SSDKeeper: profiling + repartition).
+     * Implementations advance simulated time via tb.run().
+     */
+    virtual void prepare(Testbed &tb) { (void)tb; }
+
+    /** Hook invoked right before measurement starts (e.g. freeze RL
+     *  exploration for deployment, as the paper deploys pre-trained
+     *  models). */
+    virtual void beforeMeasure(Testbed &tb) { (void)tb; }
+
+  protected:
+    /** Equal block quota for @p n tenants (capacity split evenly). */
+    static std::uint64_t equalQuota(const Testbed &tb, std::size_t n);
+};
+
+/** Factory over PolicyKind. */
+std::unique_ptr<Policy> makePolicy(PolicyKind kind);
+
+/**
+ * The fine-tuned reward alpha for a workload type (§3.8): LC-1 for
+ * general latency-sensitive apps, LC-2 for high-locality KV (YCSB),
+ * BI (alpha = 0) for bandwidth-intensive apps.
+ */
+double alphaForKind(WorkloadKind kind);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_POLICIES_POLICY_H

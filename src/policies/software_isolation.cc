@@ -1,0 +1,35 @@
+#include "src/policies/software_isolation.h"
+
+#include <cassert>
+
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+
+void
+SoftwareIsolationPolicy::setup(Testbed &tb,
+                               const std::vector<WorkloadKind> &workloads,
+                               const std::vector<SimTime> &slos)
+{
+    assert(workloads.size() == slos.size());
+    const auto &geo = tb.device().geometry();
+    const std::size_t n = workloads.size();
+    const auto shared = ChannelAllocator::sharedAll(geo, n);
+    const std::uint64_t quota = equalQuota(tb, n);
+
+    const double device_bw =
+        geo.channel_bw * double(geo.num_channels);
+    const double fair_share = device_bw / double(n);
+    const double rate = fair_share * rate_headroom_;
+    const double burst = rate * 0.05;  // 50 ms of tokens
+
+    for (std::size_t i = 0; i < n; ++i) {
+        Vssd &v = tb.addTenant(workloads[i], shared[i], quota, slos[i]);
+        tb.scheduler().setRateLimit(v.id(), rate, burst);
+        tb.scheduler().setTickets(v.id(), 1.0);
+    }
+    tb.scheduler().usePriority(false);
+    tb.scheduler().useStride(true);
+}
+
+}  // namespace fleetio

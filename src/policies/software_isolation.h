@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Software Isolation baseline: every vSSD shares all channels; token
+ * bucket rate limiting plus stride scheduling provide (weak) isolation
+ * (paper §4.1) — best utilization, worst tail latency.
+ */
+#ifndef FLEETIO_POLICIES_SOFTWARE_ISOLATION_H
+#define FLEETIO_POLICIES_SOFTWARE_ISOLATION_H
+
+#include "src/policies/policy.h"
+
+namespace fleetio {
+
+class SoftwareIsolationPolicy : public Policy
+{
+  public:
+    /**
+     * @param rate_headroom token-bucket rate as a multiple of the fair
+     *        bandwidth share. > 1 keeps the limiter work-conserving
+     *        enough to reach high utilization; stride scheduling
+     *        provides the fairness floor.
+     */
+    explicit SoftwareIsolationPolicy(double rate_headroom = 2.0)
+        : rate_headroom_(rate_headroom)
+    {
+    }
+
+    std::string name() const override { return "Software Isolation"; }
+
+    void setup(Testbed &tb, const std::vector<WorkloadKind> &workloads,
+               const std::vector<SimTime> &slos) override;
+
+  private:
+    double rate_headroom_;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_POLICIES_SOFTWARE_ISOLATION_H

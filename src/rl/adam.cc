@@ -1,0 +1,52 @@
+#include "src/rl/adam.h"
+
+#include <cmath>
+
+namespace fleetio::rl {
+
+Adam::Adam(ParameterStore &store) : Adam(store, Config{}) {}
+
+Adam::Adam(ParameterStore &store, const Config &cfg)
+    : store_(&store), cfg_(cfg)
+{
+    m_.assign(store.size(), 0.0);
+    v_.assign(store.size(), 0.0);
+}
+
+void
+Adam::step()
+{
+    Vector &g = store_->rawGrads();
+    Vector &p = store_->rawValues();
+
+    // Lazily grow state if layers were added after construction.
+    if (m_.size() < p.size()) {
+        m_.resize(p.size(), 0.0);
+        v_.resize(p.size(), 0.0);
+    }
+
+    if (cfg_.max_grad_norm > 0) {
+        double norm_sq = 0.0;
+        for (double gv : g)
+            norm_sq += gv * gv;
+        const double norm = std::sqrt(norm_sq);
+        if (norm > cfg_.max_grad_norm) {
+            const double scale = cfg_.max_grad_norm / norm;
+            for (double &gv : g)
+                gv *= scale;
+        }
+    }
+
+    ++t_;
+    const double bc1 = 1.0 - std::pow(cfg_.beta1, double(t_));
+    const double bc2 = 1.0 - std::pow(cfg_.beta2, double(t_));
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        m_[i] = cfg_.beta1 * m_[i] + (1.0 - cfg_.beta1) * g[i];
+        v_[i] = cfg_.beta2 * v_[i] + (1.0 - cfg_.beta2) * g[i] * g[i];
+        const double m_hat = m_[i] / bc1;
+        const double v_hat = v_[i] / bc2;
+        p[i] -= cfg_.lr * m_hat / (std::sqrt(v_hat) + cfg_.eps);
+    }
+}
+
+}  // namespace fleetio::rl

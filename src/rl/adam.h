@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Adam optimizer (Kingma & Ba) over a flat ParameterStore.
+ */
+#ifndef FLEETIO_RL_ADAM_H
+#define FLEETIO_RL_ADAM_H
+
+#include <cstdint>
+
+#include "src/rl/matrix.h"
+
+namespace fleetio::rl {
+
+/** Standard Adam with bias correction and optional gradient clipping. */
+class Adam
+{
+  public:
+    struct Config
+    {
+        double lr = 1e-4;       ///< paper Table 3 learning rate
+        double beta1 = 0.9;
+        double beta2 = 0.999;
+        double eps = 1e-8;
+        double max_grad_norm = 0.5;  ///< global clip; <= 0 disables
+    };
+
+    explicit Adam(ParameterStore &store);
+    Adam(ParameterStore &store, const Config &cfg);
+
+    /** Apply one update from the store's accumulated gradients. */
+    void step();
+
+    /** Steps taken so far. */
+    std::uint64_t t() const { return t_; }
+
+    const Config &config() const { return cfg_; }
+    void setLearningRate(double lr) { cfg_.lr = lr; }
+
+  private:
+    ParameterStore *store_;
+    Config cfg_;
+    Vector m_;
+    Vector v_;
+    std::uint64_t t_ = 0;
+};
+
+}  // namespace fleetio::rl
+
+#endif  // FLEETIO_RL_ADAM_H

@@ -1,0 +1,67 @@
+#include "src/rl/categorical.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fleetio::rl {
+
+Categorical::Categorical(Vector logits)
+    : probs_(softmax(logits)), log_probs_(logSoftmax(logits))
+{
+}
+
+std::size_t
+Categorical::sample(Rng &rng) const
+{
+    double r = rng.uniform();
+    for (std::size_t i = 0; i < probs_.size(); ++i) {
+        r -= probs_[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return probs_.size() - 1;
+}
+
+std::size_t
+Categorical::argmax() const
+{
+    return std::size_t(std::max_element(probs_.begin(), probs_.end()) -
+                       probs_.begin());
+}
+
+double
+Categorical::logProb(std::size_t a) const
+{
+    assert(a < log_probs_.size());
+    return log_probs_[a];
+}
+
+double
+Categorical::entropy() const
+{
+    double h = 0.0;
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        h -= probs_[i] * log_probs_[i];
+    return h;
+}
+
+Vector
+Categorical::logProbGradLogits(std::size_t a, double coeff) const
+{
+    Vector g(probs_.size());
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        g[i] = coeff * ((i == a ? 1.0 : 0.0) - probs_[i]);
+    return g;
+}
+
+Vector
+Categorical::entropyGradLogits(double coeff) const
+{
+    const double h = entropy();
+    Vector g(probs_.size());
+    for (std::size_t i = 0; i < probs_.size(); ++i)
+        g[i] = coeff * (-probs_[i] * (log_probs_[i] + h));
+    return g;
+}
+
+}  // namespace fleetio::rl

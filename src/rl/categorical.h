@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Categorical (softmax) distribution utilities used by the factored
+ * discrete action heads.
+ */
+#ifndef FLEETIO_RL_CATEGORICAL_H
+#define FLEETIO_RL_CATEGORICAL_H
+
+#include <cstddef>
+
+#include "src/rl/matrix.h"
+#include "src/sim/rng.h"
+
+namespace fleetio::rl {
+
+/**
+ * A categorical distribution over k classes parameterized by logits.
+ * Stateless helpers: the heavy lifting (probs) is computed on demand.
+ */
+class Categorical
+{
+  public:
+    explicit Categorical(Vector logits);
+
+    std::size_t numClasses() const { return probs_.size(); }
+    const Vector &probs() const { return probs_; }
+
+    /** Draw a class index. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Most probable class (greedy / deterministic evaluation). */
+    std::size_t argmax() const;
+
+    /** log P(a). */
+    double logProb(std::size_t a) const;
+
+    /** Shannon entropy in nats. */
+    double entropy() const;
+
+    /**
+     * Gradient of log P(a) w.r.t. the logits: onehot(a) - probs.
+     * Scaled by @p coeff.
+     */
+    Vector logProbGradLogits(std::size_t a, double coeff = 1.0) const;
+
+    /**
+     * Gradient of the entropy w.r.t. the logits:
+     * -probs * (logprobs + H).
+     * Scaled by @p coeff.
+     */
+    Vector entropyGradLogits(double coeff = 1.0) const;
+
+  private:
+    Vector probs_;
+    Vector log_probs_;
+};
+
+}  // namespace fleetio::rl
+
+#endif  // FLEETIO_RL_CATEGORICAL_H

@@ -1,0 +1,105 @@
+#include "src/rl/matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <fstream>
+
+namespace fleetio::rl {
+
+std::size_t
+ParameterStore::allocate(std::size_t n)
+{
+    const std::size_t offset = values_.size();
+    values_.resize(offset + n, 0.0);
+    grads_.resize(offset + n, 0.0);
+    return offset;
+}
+
+void
+ParameterStore::zeroGrads()
+{
+    std::fill(grads_.begin(), grads_.end(), 0.0);
+}
+
+bool
+ParameterStore::saveToFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out.precision(17);
+    out << values_.size() << '\n';
+    for (double v : values_)
+        out << v << '\n';
+    return bool(out);
+}
+
+bool
+ParameterStore::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::size_t n = 0;
+    in >> n;
+    if (!in || n != values_.size())
+        return false;
+    for (std::size_t i = 0; i < n; ++i) {
+        in >> values_[i];
+        if (!in)
+            return false;
+    }
+    return true;
+}
+
+void
+axpy(double a, const Vector &x, Vector &y)
+{
+    assert(x.size() == y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] += a * x[i];
+}
+
+double
+dot(const Vector &a, const Vector &b)
+{
+    assert(a.size() == b.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+Vector
+softmax(const Vector &logits)
+{
+    assert(!logits.empty());
+    const double m = *std::max_element(logits.begin(), logits.end());
+    Vector out(logits.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - m);
+        sum += out[i];
+    }
+    for (double &v : out)
+        v /= sum;
+    return out;
+}
+
+Vector
+logSoftmax(const Vector &logits)
+{
+    assert(!logits.empty());
+    const double m = *std::max_element(logits.begin(), logits.end());
+    double sum = 0.0;
+    for (double v : logits)
+        sum += std::exp(v - m);
+    const double log_z = m + std::log(sum);
+    Vector out(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        out[i] = logits[i] - log_z;
+    return out;
+}
+
+}  // namespace fleetio::rl

@@ -1,0 +1,105 @@
+#include "src/rl/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fleetio::rl {
+
+Linear::Linear(ParameterStore &store, std::size_t in, std::size_t out,
+               Rng &rng, double gain)
+    : store_(&store), in_(in), out_(out)
+{
+    w_off_ = store.allocate(in * out);
+    b_off_ = store.allocate(out);
+    const double std_dev = gain / std::sqrt(double(in));
+    double *w = store_->values(w_off_);
+    for (std::size_t i = 0; i < in * out; ++i)
+        w[i] = rng.normal(0.0, std_dev);
+    // Biases start at zero (already zero-initialized by the store).
+}
+
+Vector
+Linear::forward(const Vector &x) const
+{
+    assert(x.size() == in_);
+    Vector y(out_);
+    const double *w = store_->values(w_off_);
+    const double *b = store_->values(b_off_);
+    for (std::size_t o = 0; o < out_; ++o) {
+        double s = b[o];
+        const double *row = w + o * in_;
+        for (std::size_t i = 0; i < in_; ++i)
+            s += row[i] * x[i];
+        y[o] = s;
+    }
+    return y;
+}
+
+Vector
+Linear::backward(const Vector &dy, const Vector &x)
+{
+    assert(dy.size() == out_);
+    assert(x.size() == in_);
+    const double *w = store_->values(w_off_);
+    double *dw = store_->grads(w_off_);
+    double *db = store_->grads(b_off_);
+    Vector dx(in_, 0.0);
+    for (std::size_t o = 0; o < out_; ++o) {
+        const double g = dy[o];
+        db[o] += g;
+        const double *row = w + o * in_;
+        double *drow = dw + o * in_;
+        for (std::size_t i = 0; i < in_; ++i) {
+            drow[i] += g * x[i];
+            dx[i] += g * row[i];
+        }
+    }
+    return dx;
+}
+
+Mlp::Mlp(ParameterStore &store, std::size_t in,
+         const std::vector<std::size_t> &hidden, Rng &rng)
+    : in_(in)
+{
+    assert(!hidden.empty());
+    std::size_t prev = in;
+    for (std::size_t h : hidden) {
+        layers_.emplace_back(store, prev, h, rng, /*gain=*/1.0);
+        prev = h;
+    }
+    out_ = prev;
+    inputs_.resize(layers_.size());
+    acts_.resize(layers_.size());
+}
+
+Vector
+Mlp::forward(const Vector &x)
+{
+    Vector cur = x;
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        inputs_[i] = cur;
+        Vector z = layers_[i].forward(cur);
+        for (double &v : z)
+            v = std::tanh(v);
+        acts_[i] = z;
+        cur = std::move(z);
+    }
+    return cur;
+}
+
+Vector
+Mlp::backward(const Vector &dout)
+{
+    assert(dout.size() == out_);
+    Vector grad = dout;
+    for (std::size_t i = layers_.size(); i-- > 0;) {
+        // d tanh(z) = 1 - tanh(z)^2, with tanh(z) cached in acts_.
+        Vector dz(grad.size());
+        for (std::size_t k = 0; k < grad.size(); ++k)
+            dz[k] = grad[k] * (1.0 - acts_[i][k] * acts_[i][k]);
+        grad = layers_[i].backward(dz, inputs_[i]);
+    }
+    return grad;
+}
+
+}  // namespace fleetio::rl

@@ -1,0 +1,115 @@
+#include "src/rl/policy_network.h"
+
+#include <cassert>
+
+namespace fleetio::rl {
+
+namespace {
+
+std::vector<Linear>
+buildHeads(ParameterStore &store, std::size_t trunk_out,
+           const ActionSpec &spec, Rng &rng)
+{
+    std::vector<Linear> heads;
+    heads.reserve(spec.head_sizes.size());
+    for (std::size_t k : spec.head_sizes) {
+        // Small init keeps the initial policy near-uniform.
+        heads.emplace_back(store, trunk_out, k, rng, /*gain=*/0.01);
+    }
+    return heads;
+}
+
+}  // namespace
+
+PolicyNetwork::PolicyNetwork(std::size_t state_dim, const ActionSpec &spec,
+                             const std::vector<std::size_t> &hidden,
+                             std::uint64_t seed)
+    : state_dim_(state_dim),
+      spec_(spec),
+      init_rng_(seed),
+      trunk_(store_, state_dim, hidden, init_rng_),
+      heads_(buildHeads(store_, trunk_.outSize(), spec, init_rng_)),
+      value_head_(store_, trunk_.outSize(), 1, init_rng_, /*gain=*/1.0)
+{
+    assert(!spec.head_sizes.empty());
+}
+
+void
+PolicyNetwork::forwardTrunk(const Vector &state)
+{
+    assert(state.size() == state_dim_);
+    trunk_out_ = trunk_.forward(state);
+    head_logits_.clear();
+    head_logits_.reserve(heads_.size());
+    for (auto &h : heads_)
+        head_logits_.push_back(h.forward(trunk_out_));
+    value_cache_ = value_head_.forward(trunk_out_)[0];
+}
+
+PolicyNetwork::ActResult
+PolicyNetwork::act(const Vector &state, Rng &rng, bool deterministic)
+{
+    forwardTrunk(state);
+    ActResult res;
+    res.value = value_cache_;
+    for (const auto &logits : head_logits_) {
+        Categorical dist(logits);
+        const std::size_t a =
+            deterministic ? dist.argmax() : dist.sample(rng);
+        res.actions.push_back(a);
+        res.log_prob += dist.logProb(a);
+    }
+    return res;
+}
+
+PolicyNetwork::Eval
+PolicyNetwork::evaluate(const Vector &state,
+                        const std::vector<std::size_t> &actions)
+{
+    assert(actions.size() == heads_.size());
+    forwardTrunk(state);
+    Eval ev;
+    ev.value = value_cache_;
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+        Categorical dist(head_logits_[i]);
+        ev.log_prob += dist.logProb(actions[i]);
+        ev.entropy += dist.entropy();
+    }
+    return ev;
+}
+
+void
+PolicyNetwork::backward(const std::vector<std::size_t> &actions,
+                        double dlogp, double dentropy, double dvalue)
+{
+    assert(actions.size() == heads_.size());
+    Vector d_trunk(trunk_out_.size(), 0.0);
+
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+        Categorical dist(head_logits_[i]);
+        Vector dlogits = dist.logProbGradLogits(actions[i], dlogp);
+        if (dentropy != 0.0) {
+            const Vector de = dist.entropyGradLogits(dentropy);
+            axpy(1.0, de, dlogits);
+        }
+        const Vector dx = heads_[i].backward(dlogits, trunk_out_);
+        axpy(1.0, dx, d_trunk);
+    }
+
+    if (dvalue != 0.0) {
+        const Vector dv{dvalue};
+        const Vector dx = value_head_.backward(dv, trunk_out_);
+        axpy(1.0, dx, d_trunk);
+    }
+
+    trunk_.backward(d_trunk);
+}
+
+void
+PolicyNetwork::copyParamsFrom(const PolicyNetwork &other)
+{
+    assert(store_.size() == other.store_.size());
+    store_.rawValues() = other.store_.rawValues();
+}
+
+}  // namespace fleetio::rl

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Proximal Policy Optimization (Schulman et al. 2017) — the algorithm
+ * FleetIO trains its per-vSSD agents with (paper §3.8).
+ */
+#ifndef FLEETIO_RL_PPO_H
+#define FLEETIO_RL_PPO_H
+
+#include <cstdint>
+
+#include "src/rl/adam.h"
+#include "src/rl/policy_network.h"
+#include "src/rl/rollout_buffer.h"
+#include "src/sim/rng.h"
+
+namespace fleetio::rl {
+
+/**
+ * Clipped-surrogate PPO over a PolicyNetwork. Hyper-parameters default
+ * to the paper's Table 3 (lr 1e-4, gamma 0.9, minibatch 32).
+ */
+class PpoTrainer
+{
+  public:
+    struct Config
+    {
+        double gamma = 0.9;
+        double gae_lambda = 0.95;
+        double clip = 0.2;
+        double vf_coef = 0.5;
+        double ent_coef = 0.01;
+        int epochs = 4;
+        std::size_t minibatch = 32;
+        std::uint64_t seed = 42;
+        Adam::Config adam{};
+    };
+
+    struct Stats
+    {
+        double policy_loss = 0.0;
+        double value_loss = 0.0;
+        double entropy = 0.0;
+        double approx_kl = 0.0;
+        std::size_t samples = 0;
+    };
+
+    explicit PpoTrainer(PolicyNetwork &net);
+    PpoTrainer(PolicyNetwork &net, const Config &cfg);
+
+    const Config &config() const { return cfg_; }
+
+    /**
+     * Run one PPO update over @p rollout. Computes GAE internally with
+     * @p last_value as the bootstrap, then config().epochs passes of
+     * shuffled minibatches.
+     */
+    Stats update(RolloutBuffer &rollout, double last_value);
+
+    /** Total optimizer steps taken (telemetry). */
+    std::uint64_t optimizerSteps() const { return opt_.t(); }
+
+  private:
+    PolicyNetwork &net_;
+    Config cfg_;
+    Adam opt_;
+    Rng rng_;
+};
+
+}  // namespace fleetio::rl
+
+#endif  // FLEETIO_RL_PPO_H

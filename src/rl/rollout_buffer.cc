@@ -1,0 +1,65 @@
+#include "src/rl/rollout_buffer.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fleetio::rl {
+
+void
+RolloutBuffer::clear()
+{
+    steps_.clear();
+    advantages_.clear();
+    returns_.clear();
+}
+
+void
+RolloutBuffer::computeGae(double gamma, double lambda, double last_value,
+                          bool normalize)
+{
+    const std::size_t n = steps_.size();
+    advantages_.assign(n, 0.0);
+    returns_.assign(n, 0.0);
+    if (n == 0)
+        return;
+
+    double gae = 0.0;
+    double next_value = last_value;
+    for (std::size_t i = n; i-- > 0;) {
+        const Transition &t = steps_[i];
+        const double not_done = t.done ? 0.0 : 1.0;
+        const double delta =
+            t.reward + gamma * next_value * not_done - t.value;
+        gae = delta + gamma * lambda * not_done * gae;
+        advantages_[i] = gae;
+        returns_[i] = gae + t.value;
+        next_value = t.value;
+    }
+
+    if (normalize && n > 1) {
+        double mean = 0.0;
+        for (double a : advantages_)
+            mean += a;
+        mean /= double(n);
+        double var = 0.0;
+        for (double a : advantages_)
+            var += (a - mean) * (a - mean);
+        var /= double(n);
+        const double std_dev = std::sqrt(var) + 1e-8;
+        for (double &a : advantages_)
+            a = (a - mean) / std_dev;
+    }
+}
+
+double
+RolloutBuffer::meanReward() const
+{
+    if (steps_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (const auto &t : steps_)
+        s += t.reward;
+    return s / double(steps_.size());
+}
+
+}  // namespace fleetio::rl

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * On-policy rollout storage with Generalized Advantage Estimation.
+ */
+#ifndef FLEETIO_RL_ROLLOUT_BUFFER_H
+#define FLEETIO_RL_ROLLOUT_BUFFER_H
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rl/matrix.h"
+
+namespace fleetio::rl {
+
+/** One environment step from an agent's perspective. */
+struct Transition
+{
+    Vector state;
+    std::vector<std::size_t> actions;
+    double log_prob = 0.0;
+    double value = 0.0;
+    double reward = 0.0;
+    bool done = false;
+};
+
+/**
+ * Stores a trajectory and computes GAE advantages + discounted returns.
+ * In FleetIO the "episode" is a continuing task; callers bootstrap with
+ * the value of the state after the last stored transition.
+ */
+class RolloutBuffer
+{
+  public:
+    void add(Transition t) { steps_.push_back(std::move(t)); }
+
+    std::size_t size() const { return steps_.size(); }
+    bool empty() const { return steps_.empty(); }
+    void clear();
+
+    const Transition &operator[](std::size_t i) const { return steps_[i]; }
+
+    /**
+     * Compute GAE(lambda) advantages and returns.
+     * @param gamma      discount factor (0.9, Table 3)
+     * @param lambda     GAE smoothing
+     * @param last_value bootstrap value of the post-rollout state
+     * @param normalize  z-normalize the advantages
+     */
+    void computeGae(double gamma, double lambda, double last_value,
+                    bool normalize = true);
+
+    /** Advantage of step @p i (valid after computeGae). */
+    double advantage(std::size_t i) const { return advantages_[i]; }
+
+    /** Return (value target) of step @p i (valid after computeGae). */
+    double returnAt(std::size_t i) const { return returns_[i]; }
+
+    /** Mean reward of the stored steps (telemetry). */
+    double meanReward() const;
+
+  private:
+    std::vector<Transition> steps_;
+    std::vector<double> advantages_;
+    std::vector<double> returns_;
+};
+
+}  // namespace fleetio::rl
+
+#endif  // FLEETIO_RL_ROLLOUT_BUFFER_H

@@ -1,0 +1,52 @@
+#include "src/sim/event_queue.h"
+
+#include <utility>
+
+namespace fleetio {
+
+void
+EventQueue::scheduleAt(SimTime when, Callback cb)
+{
+    if (when < now_)
+        when = now_;
+    heap_.push(Event{when, seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast on the
+    // callback only — the heap entry is popped immediately after.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++dispatched_;
+    ev.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(SimTime until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        step();
+        ++n;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll()
+{
+    std::uint64_t n = 0;
+    while (step())
+        ++n;
+    return n;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Discrete-event simulation core: a time-ordered event queue with a
+ * monotonically advancing clock. All device latencies in FleetIO are
+ * modelled by scheduling callbacks on this queue.
+ */
+#ifndef FLEETIO_SIM_EVENT_QUEUE_H
+#define FLEETIO_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * A deterministic discrete-event queue.
+ *
+ * Events scheduled for the same timestamp fire in insertion order (FIFO),
+ * which keeps runs reproducible across platforms. The queue owns the
+ * simulated clock: now() only advances when events are dispatched.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     * Scheduling in the past is clamped to now().
+     */
+    void scheduleAt(SimTime when, Callback cb);
+
+    /** Schedule @p cb to run @p delay after the current time. */
+    void scheduleAfter(SimTime delay, Callback cb)
+    {
+        scheduleAt(now_ + delay, std::move(cb));
+    }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return heap_.size(); }
+
+    /** Timestamp of the next event, or kTimeNever when empty. */
+    SimTime nextEventTime() const
+    {
+        return heap_.empty() ? kTimeNever : heap_.top().when;
+    }
+
+    /**
+     * Dispatch the single next event (advancing the clock to it).
+     * @retval true an event was dispatched.
+     * @retval false the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run events until the clock passes @p until or the queue drains.
+     * Events at exactly @p until are dispatched. The clock is left at
+     * max(now, until) so subsequent scheduling is relative to the horizon.
+     * @return number of events dispatched.
+     */
+    std::uint64_t runUntil(SimTime until);
+
+    /** Run every pending event. @return number dispatched. */
+    std::uint64_t runAll();
+
+    /** Total events dispatched over the queue's lifetime. */
+    std::uint64_t dispatched() const { return dispatched_; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        std::uint64_t seq;  // tie-break: FIFO within a timestamp
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    SimTime now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SIM_EVENT_QUEUE_H

@@ -1,0 +1,194 @@
+#include "src/sim/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fleetio {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s_)
+        word = splitmix64(x);
+    // Avoid the all-zero state, which is a fixed point of xoshiro.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    assert(n > 0);
+    // Lemire's multiply-shift rejection method: unbiased and fast.
+    std::uint64_t x = next();
+    __uint128_t m = __uint128_t(x) * __uint128_t(n);
+    std::uint64_t l = std::uint64_t(m);
+    if (l < n) {
+        std::uint64_t t = -n % n;
+        while (l < t) {
+            x = next();
+            m = __uint128_t(x) * __uint128_t(n);
+            l = std::uint64_t(m);
+        }
+    }
+    return std::uint64_t(m >> 64);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(lo <= hi);
+    return lo + std::int64_t(uniformInt(std::uint64_t(hi - lo + 1)));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double lambda)
+{
+    assert(lambda > 0);
+    double u = uniform();
+    // Guard log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -std::log(u) / lambda;
+}
+
+double
+Rng::normal()
+{
+    if (have_cached_normal_) {
+        have_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1 = uniform();
+    double u2 = uniform();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    have_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+std::uint64_t
+Rng::zipf(std::uint64_t n, double s)
+{
+    assert(n > 0);
+    if (n == 1)
+        return 0;
+    if (s <= 0.0)
+        return uniformInt(n);
+
+    // Rejection-inversion (Hörmann & Derflinger 1996) over ranks 1..n.
+    const double q = s;
+    auto h = [q](double x) {
+        // Integral of x^-q: handles q == 1 via log.
+        if (std::abs(q - 1.0) < 1e-12)
+            return std::log(x);
+        return (std::pow(x, 1.0 - q) - 1.0) / (1.0 - q);
+    };
+    auto h_inv = [q](double x) {
+        if (std::abs(q - 1.0) < 1e-12)
+            return std::exp(x);
+        return std::pow(1.0 + x * (1.0 - q), 1.0 / (1.0 - q));
+    };
+
+    if (zipf_n_ != n || zipf_s_ != s) {
+        zipf_n_ = n;
+        zipf_s_ = s;
+        zipf_hx0_ = h(0.5) - 1.0;                 // h(x0) shifted
+        zipf_hxm_ = h(double(n) + 0.5);
+        zipf_cut_ = 1.0 - h_inv(h(1.5) - 1.0);    // rejection cut for k=1
+    }
+
+    while (true) {
+        const double u = zipf_hx0_ + uniform() * (zipf_hxm_ - zipf_hx0_);
+        const double x = h_inv(u);
+        double k = std::floor(x + 0.5);
+        if (k < 1.0)
+            k = 1.0;
+        else if (k > double(n))
+            k = double(n);
+        if (k - x <= zipf_cut_ ||
+            u >= h(k + 0.5) - std::pow(k, -q)) {
+            return std::uint64_t(k) - 1;  // 0-based rank
+        }
+    }
+}
+
+std::size_t
+Rng::weighted(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    assert(total > 0);
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        r -= weights[i];
+        if (r <= 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+}  // namespace fleetio

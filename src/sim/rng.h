@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for simulation.
+ *
+ * We use xoshiro256** (public domain, Blackman & Vigna) rather than
+ * std::mt19937 because it is faster, smaller, and its output is identical
+ * across standard libraries, keeping experiments bit-reproducible.
+ */
+#ifndef FLEETIO_SIM_RNG_H
+#define FLEETIO_SIM_RNG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace fleetio {
+
+/**
+ * xoshiro256** generator with convenience distributions used by the
+ * workload generators and RL exploration.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @p n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with success probability @p p. */
+    bool bernoulli(double p);
+
+    /** Exponential with rate @p lambda (mean 1/lambda). */
+    double exponential(double lambda);
+
+    /** Standard normal via Box-Muller (cached second value). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Zipf-distributed integer in [0, n) with skew @p s.
+     *
+     * Uses the rejection-inversion method of Hörmann & Derflinger, which
+     * is O(1) per draw and does not require precomputing the harmonic
+     * normalizer; suitable for very large n (page address spaces).
+     */
+    std::uint64_t zipf(std::uint64_t n, double s);
+
+    /** Sample an index according to a discrete weight vector. */
+    std::size_t weighted(const std::vector<double> &weights);
+
+  private:
+    std::uint64_t s_[4];
+    double cached_normal_ = 0.0;
+    bool have_cached_normal_ = false;
+
+    // Memoized parameters for the Zipf sampler, keyed by (n, s).
+    std::uint64_t zipf_n_ = 0;
+    double zipf_s_ = -1.0;
+    double zipf_hx0_ = 0.0, zipf_hxm_ = 0.0, zipf_cut_ = 0.0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SIM_RNG_H

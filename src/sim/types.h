@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fundamental simulation types shared by every FleetIO module.
+ */
+#ifndef FLEETIO_SIM_TYPES_H
+#define FLEETIO_SIM_TYPES_H
+
+#include <cstdint>
+#include <limits>
+
+namespace fleetio {
+
+/** Simulated time in nanoseconds since simulation start. */
+using SimTime = std::uint64_t;
+
+/** Sentinel for "no time" / "never". */
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/** Convenience time-unit constructors. */
+inline constexpr SimTime nsec(std::uint64_t v) { return v; }
+inline constexpr SimTime usec(std::uint64_t v) { return v * 1000ull; }
+inline constexpr SimTime msec(std::uint64_t v) { return v * 1000'000ull; }
+inline constexpr SimTime sec(std::uint64_t v)  { return v * 1000'000'000ull; }
+
+/** Convert a simulated duration to (floating) seconds. */
+inline constexpr double toSeconds(SimTime t) { return double(t) * 1e-9; }
+/** Convert a simulated duration to (floating) microseconds. */
+inline constexpr double toMicros(SimTime t) { return double(t) * 1e-3; }
+/** Convert a simulated duration to (floating) milliseconds. */
+inline constexpr double toMillis(SimTime t) { return double(t) * 1e-6; }
+
+/** Strongly-sized identifiers for the flash geometry and tenancy. */
+using ChannelId = std::uint32_t;
+using ChipId    = std::uint32_t;  ///< chip index within a channel
+using BlockId   = std::uint32_t;  ///< block index within a chip
+using PageId    = std::uint32_t;  ///< page index within a block
+using VssdId    = std::uint32_t;  ///< virtual-SSD (tenant) identifier
+
+inline constexpr VssdId kNoVssd = std::numeric_limits<VssdId>::max();
+
+/** Logical / physical page addresses (device-wide flat indices). */
+using Lpa = std::uint64_t;  ///< logical page address
+using Ppa = std::uint64_t;  ///< physical page address
+
+inline constexpr Lpa kNoLpa = std::numeric_limits<Lpa>::max();
+inline constexpr Ppa kNoPpa = std::numeric_limits<Ppa>::max();
+
+/** Direction of an I/O request. */
+enum class IoType : std::uint8_t { kRead = 0, kWrite = 1 };
+
+/** Three-level I/O scheduling priority (Set_Priority action levels). */
+enum class Priority : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+/** Number of distinct Priority levels. */
+inline constexpr int kNumPriorities = 3;
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SIM_TYPES_H

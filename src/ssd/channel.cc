@@ -1,0 +1,4 @@
+#include "src/ssd/channel.h"
+
+// Channel is header-only today; this translation unit anchors the
+// class for the build and future out-of-line growth.

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Flash channel: a shared bus resource plus an outstanding-operation
+ * counter used to enforce the per-channel queue depth.
+ */
+#ifndef FLEETIO_SSD_CHANNEL_H
+#define FLEETIO_SSD_CHANNEL_H
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * The bus of one flash channel. The bus serializes page transfers (the
+ * bandwidth bottleneck, 64 MB/s by default); chips behind it overlap
+ * their array operations.
+ */
+class Channel
+{
+  public:
+    Channel() = default;
+
+    /**
+     * Reserve the bus for @p duration starting no earlier than
+     * @p earliest. @return end of the reserved interval.
+     */
+    SimTime reserveBus(SimTime earliest, SimTime duration)
+    {
+        const SimTime start = earliest > bus_until_ ? earliest : bus_until_;
+        bus_until_ = start + duration;
+        return bus_until_;
+    }
+
+    /** Time at which the bus becomes idle. */
+    SimTime busBusyUntil() const { return bus_until_; }
+
+    /** Outstanding device operations dispatched to this channel. */
+    std::uint32_t outstanding() const { return outstanding_; }
+    void addOutstanding() { ++outstanding_; }
+    void removeOutstanding()
+    {
+        if (outstanding_ > 0)
+            --outstanding_;
+    }
+
+    /** Busy-time integration for utilization accounting. */
+    void accountBusy(SimTime duration) { busy_time_ += duration; }
+    SimTime busyTime() const { return busy_time_; }
+    void resetBusyTime() { busy_time_ = 0; }
+
+  private:
+    SimTime bus_until_ = 0;
+    std::uint32_t outstanding_ = 0;
+    SimTime busy_time_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SSD_CHANNEL_H

@@ -1,0 +1,227 @@
+#include "src/ssd/flash_device.h"
+
+#include <cassert>
+
+namespace fleetio {
+
+FlashDevice::FlashDevice(const SsdGeometry &geo, EventQueue &eq)
+    : geo_(geo), eq_(eq), channels_(geo.num_channels)
+{
+    assert(geo_.valid());
+    chips_.reserve(std::size_t(geo.num_channels) * geo.chips_per_channel);
+    for (std::uint32_t i = 0;
+         i < geo.num_channels * geo.chips_per_channel; ++i) {
+        chips_.emplace_back(geo_);
+    }
+    rmap_.resize(geo_.totalPages());
+}
+
+FlashChip &
+FlashDevice::chip(ChannelId ch, ChipId c)
+{
+    return chips_[std::size_t(ch) * geo_.chips_per_channel + c];
+}
+
+const FlashChip &
+FlashDevice::chip(ChannelId ch, ChipId c) const
+{
+    return chips_[std::size_t(ch) * geo_.chips_per_channel + c];
+}
+
+SimTime
+FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
+{
+    const ChannelId ch = geo_.channelOf(ppa);
+    const ChipId cp = geo_.chipOf(ppa);
+    Channel &chan = channels_[ch];
+    FlashChip &chp = chip(ch, cp);
+
+    // Array read on the chip, then transfer over the bus.
+    const SimTime read_done = chp.reserve(eq_.now(), geo_.read_latency);
+    const SimTime xfer = geo_.pageTransferTime();
+    const SimTime complete = chan.reserveBus(read_done, xfer);
+    chan.accountBusy(xfer);
+
+    if (host) {
+        chan.addOutstanding();
+        ++host_reads_;
+    } else {
+        ++gc_reads_;
+    }
+    eq_.scheduleAt(complete, [this, ch, host, cb = std::move(done)]() {
+        if (host)
+            channels_[ch].removeOutstanding();
+        if (cb)
+            cb();
+    });
+    return complete;
+}
+
+SimTime
+FlashDevice::issueProgramImpl(Ppa ppa, Callback done, bool host)
+{
+    const ChannelId ch = geo_.channelOf(ppa);
+    const ChipId cp = geo_.chipOf(ppa);
+    Channel &chan = channels_[ch];
+    FlashChip &chp = chip(ch, cp);
+
+    // Transfer over the bus, then program into the array. The channel
+    // dispatch slot frees once the bus transfer ends — the program
+    // proceeds inside the chip, so programs pipeline across chips
+    // while the bus keeps streaming (as on real hardware).
+    const SimTime xfer = geo_.pageTransferTime();
+    const SimTime xfer_done = chan.reserveBus(eq_.now(), xfer);
+    chan.accountBusy(xfer);
+    const SimTime complete = chp.reserve(xfer_done, geo_.program_latency);
+
+    if (host) {
+        chan.addOutstanding();
+        ++host_writes_;
+        eq_.scheduleAt(xfer_done, [this, ch]() {
+            channels_[ch].removeOutstanding();
+            if (on_slot_freed_)
+                on_slot_freed_(ch);
+        });
+    } else {
+        ++gc_writes_;
+    }
+    eq_.scheduleAt(complete, [cb = std::move(done)]() {
+        if (cb)
+            cb();
+    });
+    return complete;
+}
+
+SimTime
+FlashDevice::issueRead(Ppa ppa, Callback done)
+{
+    return issueReadImpl(ppa, std::move(done), /*host=*/true);
+}
+
+SimTime
+FlashDevice::issueProgram(Ppa ppa, Callback done)
+{
+    return issueProgramImpl(ppa, std::move(done), /*host=*/true);
+}
+
+SimTime
+FlashDevice::issueGcRead(Ppa ppa, Callback done)
+{
+    return issueReadImpl(ppa, std::move(done), /*host=*/false);
+}
+
+SimTime
+FlashDevice::issueGcProgram(Ppa ppa, Callback done)
+{
+    return issueProgramImpl(ppa, std::move(done), /*host=*/false);
+}
+
+SimTime
+FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
+{
+    FlashChip &chp = chip(ch, cp);
+    const SimTime complete = chp.reserve(eq_.now(), geo_.erase_latency);
+    ++erases_;
+    eq_.scheduleAt(complete, [cb = std::move(done)]() {
+        if (cb)
+            cb();
+    });
+    return complete;
+}
+
+bool
+FlashDevice::allocateBlock(ChannelId ch, VssdId owner, ChipId &chip_out,
+                           BlockId &blk_out)
+{
+    // Prefer the chip with the most free blocks so programs spread over
+    // chip-level parallelism and wear stays even.
+    ChipId best = 0;
+    std::uint32_t best_free = 0;
+    for (ChipId c = 0; c < geo_.chips_per_channel; ++c) {
+        const std::uint32_t f = chip(ch, c).freeBlocks();
+        if (f > best_free) {
+            best_free = f;
+            best = c;
+        }
+    }
+    if (best_free == 0)
+        return false;
+    const BlockId blk = chip(ch, best).allocateBlock(owner);
+    assert(blk != UINT32_MAX);
+    chip_out = best;
+    blk_out = blk;
+    return true;
+}
+
+std::uint32_t
+FlashDevice::freeBlocksInChannel(ChannelId ch) const
+{
+    std::uint32_t total = 0;
+    for (ChipId c = 0; c < geo_.chips_per_channel; ++c)
+        total += chip(ch, c).freeBlocks();
+    return total;
+}
+
+double
+FlashDevice::freeRatio(ChannelId ch) const
+{
+    return double(freeBlocksInChannel(ch)) / double(geo_.blocksPerChannel());
+}
+
+std::uint64_t
+FlashDevice::totalFreeBlocks() const
+{
+    std::uint64_t total = 0;
+    for (ChannelId ch = 0; ch < geo_.num_channels; ++ch)
+        total += freeBlocksInChannel(ch);
+    return total;
+}
+
+FlashBlock &
+FlashDevice::blockOf(Ppa ppa)
+{
+    return chip(geo_.channelOf(ppa), geo_.chipOf(ppa))
+        .block(geo_.blockOf(ppa));
+}
+
+const FlashBlock &
+FlashDevice::blockOf(Ppa ppa) const
+{
+    return chip(geo_.channelOf(ppa), geo_.chipOf(ppa))
+        .block(geo_.blockOf(ppa));
+}
+
+void
+FlashDevice::invalidatePage(Ppa ppa)
+{
+    chip(geo_.channelOf(ppa), geo_.chipOf(ppa))
+        .invalidatePage(geo_.blockOf(ppa), geo_.pageOf(ppa));
+}
+
+double
+FlashDevice::busUtilization(SimTime window) const
+{
+    if (window == 0)
+        return 0.0;
+    double busy = 0.0;
+    for (const auto &c : channels_)
+        busy += double(c.busyTime());
+    return busy / (double(window) * double(geo_.num_channels));
+}
+
+void
+FlashDevice::resetBusyWindow()
+{
+    for (auto &c : channels_)
+        c.resetBusyTime();
+}
+
+double
+FlashDevice::writeAmplification() const
+{
+    if (host_writes_ == 0)
+        return 1.0;
+    return double(host_writes_ + gc_writes_) / double(host_writes_);
+}
+
+}  // namespace fleetio

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The simulated open-channel SSD: chips + channel buses + the timing rules
+ * for read/program/erase, plus device-wide free-block pools and the
+ * physical-to-logical reverse map that GC needs.
+ */
+#ifndef FLEETIO_SSD_FLASH_DEVICE_H
+#define FLEETIO_SSD_FLASH_DEVICE_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/types.h"
+#include "src/ssd/channel.h"
+#include "src/ssd/flash_chip.h"
+#include "src/ssd/geometry.h"
+
+namespace fleetio {
+
+/**
+ * Reverse-map entry: which vSSD's logical page currently lives at a PPA.
+ * Valid only while the page's bitmap bit is set.
+ */
+struct RmapEntry
+{
+    VssdId data_vssd = kNoVssd;
+    Lpa lpa = kNoLpa;
+};
+
+/**
+ * The device model.
+ *
+ * Timing: a read occupies the target chip for read_latency and then the
+ * channel bus for one page-transfer; a program occupies the bus first and
+ * then the chip for program_latency; an erase occupies only the chip.
+ * Chips overlap behind a serialized bus, so sustained per-channel
+ * throughput converges to the bus bandwidth (64 MB/s by default),
+ * matching the paper's per-channel bandwidth assumption.
+ *
+ * State (block bitmaps, write pointers) is mutated eagerly by the FTL/GC;
+ * this class adds the time dimension and completion callbacks.
+ */
+class FlashDevice
+{
+  public:
+    using Callback = std::function<void()>;
+
+    FlashDevice(const SsdGeometry &geo, EventQueue &eq);
+
+    const SsdGeometry &geometry() const { return geo_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    FlashChip &chip(ChannelId ch, ChipId c);
+    const FlashChip &chip(ChannelId ch, ChipId c) const;
+    Channel &channel(ChannelId ch) { return channels_[ch]; }
+    const Channel &channel(ChannelId ch) const { return channels_[ch]; }
+
+    // --- Timing operations ------------------------------------------
+
+    /**
+     * Issue a page read at @p ppa. Counts against the channel's
+     * outstanding ops until completion. @return completion time.
+     */
+    SimTime issueRead(Ppa ppa, Callback done);
+
+    /**
+     * Issue a page program at @p ppa (placement already chosen).
+     * @return completion time.
+     */
+    SimTime issueProgram(Ppa ppa, Callback done);
+
+    /**
+     * Issue a block erase. Chip-only occupancy; does not change block
+     * state — the caller erases metadata in @p done.
+     * @return completion time.
+     */
+    SimTime issueErase(ChannelId ch, ChipId chip, Callback done);
+
+    /**
+     * Internal (GC) variants: same timing, but not counted against the
+     * channel queue depth — copyback traffic competes for the bus and
+     * chip directly, modelling GC interference with host I/O.
+     */
+    SimTime issueGcRead(Ppa ppa, Callback done);
+    SimTime issueGcProgram(Ppa ppa, Callback done);
+
+    /** True when the channel can accept another host op (QD limit). */
+    bool canDispatch(ChannelId ch) const
+    {
+        return channels_[ch].outstanding() < geo_.max_queue_depth;
+    }
+
+    /**
+     * Hook invoked whenever a channel dispatch slot frees up before
+     * the op's completion callback (write transfers end while the
+     * program continues in-chip). The I/O scheduler uses it to pump.
+     */
+    void setOnSlotFreed(std::function<void(ChannelId)> cb)
+    {
+        on_slot_freed_ = std::move(cb);
+    }
+
+    // --- Block pool ---------------------------------------------------
+
+    /**
+     * Allocate a free block on @p ch for @p owner, preferring the chip
+     * with the most free blocks (wear/parallelism spreading).
+     * @return encoded (chip, block) via out-params; false if the channel
+     *         has no free block.
+     */
+    bool allocateBlock(ChannelId ch, VssdId owner, ChipId &chip_out,
+                       BlockId &blk_out);
+
+    /** Free blocks remaining on a channel. */
+    std::uint32_t freeBlocksInChannel(ChannelId ch) const;
+
+    /** Free-block fraction of a channel in [0,1]. */
+    double freeRatio(ChannelId ch) const;
+
+    /** Device-wide free blocks. */
+    std::uint64_t totalFreeBlocks() const;
+
+    // --- Page state helpers --------------------------------------------
+
+    FlashBlock &blockOf(Ppa ppa);
+    const FlashBlock &blockOf(Ppa ppa) const;
+
+    /** Mark the page at @p ppa invalid (overwrite / trim). */
+    void invalidatePage(Ppa ppa);
+
+    /** Reverse-map access. */
+    RmapEntry &rmap(Ppa ppa) { return rmap_[ppa]; }
+    const RmapEntry &rmap(Ppa ppa) const { return rmap_[ppa]; }
+
+    /**
+     * Record that @p lpa of @p vssd now lives at @p ppa (called by the
+     * FTL right after programNextPage chose the page).
+     */
+    void setRmap(Ppa ppa, VssdId vssd, Lpa lpa)
+    {
+        rmap_[ppa] = RmapEntry{vssd, lpa};
+    }
+
+    // --- Utilization accounting ----------------------------------------
+
+    /**
+     * Bus utilization across all channels since the last resetWindow, in
+     * [0,1]: total bus-busy time / (channels x elapsed).
+     */
+    double busUtilization(SimTime window) const;
+
+    /** Clear per-window busy-time counters. */
+    void resetBusyWindow();
+
+    /** Lifetime op counters. */
+    std::uint64_t hostReads() const { return host_reads_; }
+    std::uint64_t hostWrites() const { return host_writes_; }
+    std::uint64_t gcReads() const { return gc_reads_; }
+    std::uint64_t gcWrites() const { return gc_writes_; }
+    std::uint64_t erases() const { return erases_; }
+
+    /** Write amplification: (host + gc writes) / host writes. */
+    double writeAmplification() const;
+
+  private:
+    SimTime issueReadImpl(Ppa ppa, Callback done, bool host);
+    SimTime issueProgramImpl(Ppa ppa, Callback done, bool host);
+
+    SsdGeometry geo_;
+    EventQueue &eq_;
+    std::function<void(ChannelId)> on_slot_freed_;
+    std::vector<Channel> channels_;
+    std::vector<FlashChip> chips_;  // [channel * chips_per_channel + chip]
+    std::vector<RmapEntry> rmap_;
+
+    std::uint64_t host_reads_ = 0;
+    std::uint64_t host_writes_ = 0;
+    std::uint64_t gc_reads_ = 0;
+    std::uint64_t gc_writes_ = 0;
+    std::uint64_t erases_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SSD_FLASH_DEVICE_H

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Per-vSSD flash translation layer: page-level logical-to-physical
+ * mapping, write placement over the vSSD's channels and any harvested
+ * external capacity, quota accounting, and GC-relocation support.
+ */
+#ifndef FLEETIO_SSD_FTL_H
+#define FLEETIO_SSD_FTL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/ssd/flash_device.h"
+
+namespace fleetio {
+
+/**
+ * Interface for harvested write capacity (implemented by the ghost
+ * superblock). Keeps the ssd layer independent of the harvest layer.
+ */
+class ExternalWriteSource
+{
+  public:
+    virtual ~ExternalWriteSource() = default;
+
+    /** Try to claim a page for programming. */
+    virtual bool allocatePage(Ppa &out) = 0;
+
+    /** True once no page will ever be claimable again. */
+    virtual bool exhausted() const = 0;
+
+    /** Channels this source spans (for proportional striping). */
+    virtual std::uint32_t numChannels() const = 0;
+};
+
+/**
+ * One vSSD's FTL.
+ *
+ * Placement policy: each own channel keeps one open block; a page write
+ * picks the own-channel or external source whose bus frees up earliest,
+ * so large writes stripe over all available parallelism. Block
+ * allocations count against the vSSD's block quota; the logical capacity
+ * exposed upward is quota * (1 - op_ratio), leaving over-provisioning
+ * slack for GC, exactly as the paper's device configures (20 %).
+ */
+class Ftl
+{
+  public:
+    struct Config
+    {
+        VssdId vssd = 0;
+        std::uint64_t quota_blocks = 0;      ///< physical block budget
+        std::vector<ChannelId> channels;     ///< channels writable as "own"
+    };
+
+    Ftl(FlashDevice &dev, const Config &cfg);
+
+    VssdId vssd() const { return cfg_.vssd; }
+
+    /** Logical pages visible to the tenant (quota minus OP). */
+    std::uint64_t logicalPages() const { return logical_pages_; }
+
+    /** Logical capacity in bytes. */
+    std::uint64_t logicalBytes() const
+    {
+        return logical_pages_ * dev_->geometry().page_size;
+    }
+
+    // --- Host write path ------------------------------------------------
+
+    /**
+     * Choose a physical page for (over)writing @p lpa. Updates the map,
+     * invalidates any prior version, and writes the reverse map.
+     * @retval false no capacity is currently available (caller retries
+     *         after GC frees blocks).
+     */
+    bool allocateWrite(Lpa lpa, Ppa &out);
+
+    /** Current physical location of @p lpa, or kNoPpa when unwritten. */
+    Ppa lookup(Lpa lpa) const;
+
+    /** Drop the mapping of @p lpa and invalidate its page (trim). */
+    void trim(Lpa lpa);
+
+    /** Trim every written page (vSSD deallocation). */
+    void trimAll();
+
+    // --- GC support ------------------------------------------------------
+
+    /**
+     * Allocate a relocation target on own channels only (never into
+     * harvested capacity, so migrations cannot bounce between tenants).
+     */
+    bool allocateRelocation(Ppa &out);
+
+    /** Point @p lpa at @p new_ppa after its data moved (GC copyback). */
+    void remap(Lpa lpa, Ppa new_ppa);
+
+    /** Notify that @p n of this vSSD's blocks were erased and freed. */
+    void onBlocksReclaimed(std::uint64_t n);
+
+    /**
+     * Transfer @p n blocks of quota to a gSB (home-side donation).
+     * The blocks were allocated directly through the device by the gSB
+     * manager; this keeps the quota ledger consistent.
+     */
+    void chargeDonatedBlocks(std::uint64_t n) { blocks_used_ += n; }
+
+    // --- Harvested capacity ----------------------------------------------
+
+    void addExternalSource(ExternalWriteSource *src);
+    void removeExternalSource(ExternalWriteSource *src);
+    std::size_t numExternalSources() const { return externals_.size(); }
+
+    // --- Dynamic channel ownership (Adaptive / SSDKeeper baselines) ------
+
+    /** Replace the own-channel set; open blocks on removed channels are
+     *  abandoned (reads continue; new writes use the new set). */
+    void setChannels(const std::vector<ChannelId> &channels);
+    const std::vector<ChannelId> &channels() const { return cfg_.channels; }
+
+    // --- Telemetry ---------------------------------------------------------
+
+    std::uint64_t quotaBlocks() const { return cfg_.quota_blocks; }
+    std::uint64_t blocksUsed() const { return blocks_used_; }
+    std::uint64_t livePages() const { return live_pages_; }
+
+    /** Free fraction of the block quota, in [0,1]. */
+    double freeQuotaRatio() const;
+
+    /** Available logical capacity in bytes (Avail_Capacity RL state). */
+    std::uint64_t availableBytes() const;
+
+    /** True when GC should run (quota headroom below the GC threshold). */
+    bool needsGc() const;
+
+  private:
+    struct OpenPoint
+    {
+        ChannelId channel;
+        ChipId chip;                 ///< preferred chip (parallelism)
+        BlockId block = UINT32_MAX;
+        bool valid = false;
+    };
+
+    /** Get or open the write block of one (channel, chip) point. */
+    bool ensureOpen(OpenPoint &pt);
+    bool allocateOwnPage(Ppa &out);
+    /** Device-wide overflow placement (quota-charged): used when the
+     *  own channels are physically out of free blocks, by both GC
+     *  relocation and host writes (capacity is a device-global
+     *  resource; channel ownership governs bandwidth). */
+    bool allocateFallback(Ppa &out);
+    void installMapping(Lpa lpa, Ppa ppa);
+
+    FlashDevice *dev_;
+    Config cfg_;
+    std::uint64_t logical_pages_;
+    std::vector<Ppa> map_;
+    std::vector<OpenPoint> open_points_;
+    /** Device-wide fallback write point for GC relocation when the
+     *  own channels are physically full. */
+    OpenPoint relo_point_{0, 0, UINT32_MAX, false};
+    std::vector<ExternalWriteSource *> externals_;
+    std::uint64_t blocks_used_ = 0;
+    std::uint64_t live_pages_ = 0;
+    std::size_t rr_cursor_ = 0;       ///< rotation across write points
+    std::uint64_t stripe_counter_ = 0;  ///< own/external striping
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SSD_FTL_H

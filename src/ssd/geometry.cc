@@ -1,0 +1,57 @@
+#include "src/ssd/geometry.h"
+
+namespace fleetio {
+
+bool
+SsdGeometry::valid() const
+{
+    return num_channels > 0 && chips_per_channel > 0 &&
+           blocks_per_chip > 0 && pages_per_block > 0 && page_size > 0 &&
+           channel_bw > 0 && max_queue_depth > 0 &&
+           op_ratio >= 0.0 && op_ratio < 1.0 &&
+           gc_free_threshold > 0.0 && gc_free_threshold < 1.0 &&
+           superblock_blocks_per_channel > 0 &&
+           superblock_blocks_per_channel <= blocksPerChannel();
+}
+
+SsdGeometry
+SsdGeometry::scaled(std::uint32_t blocks_per_chip_override) const
+{
+    SsdGeometry g = *this;
+    g.blocks_per_chip = blocks_per_chip_override;
+    if (g.superblock_blocks_per_channel > g.blocksPerChannel())
+        g.superblock_blocks_per_channel =
+            std::uint32_t(g.blocksPerChannel());
+    return g;
+}
+
+SsdGeometry
+defaultGeometry()
+{
+    return SsdGeometry{};
+}
+
+SsdGeometry
+testGeometry()
+{
+    // 16 ch x 4 chips x 8 blocks x 4 MB = 2 GB; superblock 4 blocks/ch.
+    SsdGeometry g;
+    g.blocks_per_chip = 8;
+    g.pages_per_block = 64;            // 1 MB blocks for fast tests
+    g.superblock_blocks_per_channel = 4;
+    return g;
+}
+
+SsdGeometry
+benchGeometry()
+{
+    // 16 ch x 4 chips x 32 blocks x 2 MB = 4 GB with short blocks so GC
+    // is exercised quickly; superblock 16 blocks (32 MB) per channel.
+    SsdGeometry g;
+    g.blocks_per_chip = 32;
+    g.pages_per_block = 128;
+    g.superblock_blocks_per_channel = 16;
+    return g;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SSD geometry and timing parameters (paper Table 3), plus the physical
+ * page address codec shared by the whole device model.
+ */
+#ifndef FLEETIO_SSD_GEOMETRY_H
+#define FLEETIO_SSD_GEOMETRY_H
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * Static geometry + timing of the simulated open-channel SSD.
+ *
+ * The defaults reproduce Table 3 of the paper: 1 TB capacity, 16 channels,
+ * 4 chips per channel, 16 KB pages, 4 MB blocks (so 256 pages/block and a
+ * 64 MB minimum one-channel superblock of 16 blocks), queue depth 16 and
+ * 20 % over-provisioning, with 64 MB/s of bus bandwidth per channel.
+ */
+struct SsdGeometry
+{
+    std::uint32_t num_channels = 16;
+    std::uint32_t chips_per_channel = 4;
+    std::uint32_t blocks_per_chip = 4096;      ///< 1 TB at 4 MB blocks
+    std::uint32_t pages_per_block = 256;       ///< 4 MB block / 16 KB page
+    std::uint32_t page_size = 16 * 1024;       ///< bytes
+
+    /** Channel bus bandwidth in bytes per second (64 MB/s). */
+    double channel_bw = 64.0 * 1024 * 1024;
+
+    /** NAND operation latencies. */
+    SimTime read_latency = usec(60);
+    SimTime program_latency = usec(800);
+    SimTime erase_latency = msec(3);
+
+    /** Maximum outstanding device operations per channel. */
+    std::uint32_t max_queue_depth = 16;
+
+    /** Over-provisioning: fraction of physical space hidden from tenants. */
+    double op_ratio = 0.20;
+
+    /** GC trigger: start reclaiming below this free-block fraction. */
+    double gc_free_threshold = 0.20;
+
+    /** Blocks per channel in the minimum superblock (16 blocks = 64 MB). */
+    std::uint32_t superblock_blocks_per_channel = 16;
+
+    // --- Derived quantities -------------------------------------------
+
+    std::uint64_t blockBytes() const
+    {
+        return std::uint64_t(pages_per_block) * page_size;
+    }
+
+    std::uint64_t blocksPerChannel() const
+    {
+        return std::uint64_t(chips_per_channel) * blocks_per_chip;
+    }
+
+    std::uint64_t totalBlocks() const
+    {
+        return std::uint64_t(num_channels) * blocksPerChannel();
+    }
+
+    std::uint64_t pagesPerChip() const
+    {
+        return std::uint64_t(blocks_per_chip) * pages_per_block;
+    }
+
+    std::uint64_t pagesPerChannel() const
+    {
+        return std::uint64_t(chips_per_channel) * pagesPerChip();
+    }
+
+    std::uint64_t totalPages() const
+    {
+        return std::uint64_t(num_channels) * pagesPerChannel();
+    }
+
+    std::uint64_t totalBytes() const { return totalPages() * page_size; }
+
+    /** Bus transfer time for @p bytes on one channel. */
+    SimTime transferTime(std::uint64_t bytes) const
+    {
+        return SimTime(double(bytes) / channel_bw * 1e9);
+    }
+
+    /** Bus transfer time for one page. */
+    SimTime pageTransferTime() const { return transferTime(page_size); }
+
+    /**
+     * Peak aggregate bandwidth in MB/s across @p channels channels,
+     * used as Avg_BW_guar in the reward (Eq. 1).
+     */
+    double channelBandwidthMBps() const
+    {
+        return channel_bw / (1024.0 * 1024.0);
+    }
+
+    // --- PPA codec -----------------------------------------------------
+    // Flat PPA layout: ((channel * chips + chip) * blocks + block) * pages
+    //                  + page.
+
+    Ppa makePpa(ChannelId ch, ChipId chip, BlockId blk, PageId pg) const
+    {
+        return ((Ppa(ch) * chips_per_channel + chip) * blocks_per_chip +
+                blk) * pages_per_block + pg;
+    }
+
+    ChannelId channelOf(Ppa ppa) const
+    {
+        return ChannelId(ppa / (std::uint64_t(pages_per_block) *
+                                blocks_per_chip * chips_per_channel));
+    }
+
+    ChipId chipOf(Ppa ppa) const
+    {
+        return ChipId(ppa / (std::uint64_t(pages_per_block) *
+                             blocks_per_chip) % chips_per_channel);
+    }
+
+    BlockId blockOf(Ppa ppa) const
+    {
+        return BlockId(ppa / pages_per_block % blocks_per_chip);
+    }
+
+    PageId pageOf(Ppa ppa) const
+    {
+        return PageId(ppa % pages_per_block);
+    }
+
+    /** First PPA of a (channel, chip, block) triple. */
+    Ppa blockBasePpa(ChannelId ch, ChipId chip, BlockId blk) const
+    {
+        return makePpa(ch, chip, blk, 0);
+    }
+
+    /** Basic consistency check; fires an assert-style bool. */
+    bool valid() const;
+
+    /**
+     * A copy of this geometry shrunk to @p blocks_per_chip blocks per chip
+     * (all ratios preserved) — used to keep tests and benches fast.
+     */
+    SsdGeometry scaled(std::uint32_t blocks_per_chip_override) const;
+};
+
+/** Table 3 full-size device. */
+SsdGeometry defaultGeometry();
+
+/** Small device for unit tests (a few hundred MB). */
+SsdGeometry testGeometry();
+
+/** Medium device for benches (a few GB), geometry ratios preserved. */
+SsdGeometry benchGeometry();
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_SSD_GEOMETRY_H

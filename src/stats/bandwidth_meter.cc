@@ -1,0 +1,87 @@
+#include "src/stats/bandwidth_meter.h"
+
+namespace fleetio {
+
+namespace {
+constexpr double kMB = 1024.0 * 1024.0;
+}
+
+void
+BandwidthMeter::record(IoType type, std::uint64_t bytes)
+{
+    if (type == IoType::kRead) {
+        win_read_bytes_ += bytes;
+        ++win_read_reqs_;
+    } else {
+        win_write_bytes_ += bytes;
+        ++win_write_reqs_;
+    }
+}
+
+double
+BandwidthMeter::windowMBps(SimTime window) const
+{
+    if (window == 0)
+        return 0.0;
+    return double(windowBytes()) / kMB / toSeconds(window);
+}
+
+double
+BandwidthMeter::windowReadMBps(SimTime window) const
+{
+    if (window == 0)
+        return 0.0;
+    return double(win_read_bytes_) / kMB / toSeconds(window);
+}
+
+double
+BandwidthMeter::windowWriteMBps(SimTime window) const
+{
+    if (window == 0)
+        return 0.0;
+    return double(win_write_bytes_) / kMB / toSeconds(window);
+}
+
+double
+BandwidthMeter::windowIops(SimTime window) const
+{
+    if (window == 0)
+        return 0.0;
+    return double(windowRequests()) / toSeconds(window);
+}
+
+double
+BandwidthMeter::windowReadRatio() const
+{
+    const std::uint64_t total = windowRequests();
+    if (total == 0)
+        return 1.0;
+    return double(win_read_reqs_) / double(total);
+}
+
+void
+BandwidthMeter::rollWindow()
+{
+    total_bytes_ += windowBytes();
+    total_reqs_ += windowRequests();
+    win_read_bytes_ = win_write_bytes_ = 0;
+    win_read_reqs_ = win_write_reqs_ = 0;
+}
+
+double
+BandwidthMeter::totalMBps(SimTime elapsed) const
+{
+    if (elapsed == 0)
+        return 0.0;
+    return double(totalBytes()) / kMB / toSeconds(elapsed);
+}
+
+void
+BandwidthMeter::reset()
+{
+    win_read_bytes_ = win_write_bytes_ = 0;
+    win_read_reqs_ = win_write_reqs_ = 0;
+    total_bytes_ = total_reqs_ = 0;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Windowed bandwidth / IOPS accounting for vSSDs and the whole device.
+ */
+#ifndef FLEETIO_STATS_BANDWIDTH_METER_H
+#define FLEETIO_STATS_BANDWIDTH_METER_H
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * Accumulates completed-I/O byte and request counts and converts them to
+ * MB/s and IOPS over a window whose start the owner controls. Read and
+ * write traffic are tracked separately (the clustering features need both).
+ */
+class BandwidthMeter
+{
+  public:
+    BandwidthMeter() = default;
+
+    /** Account one completed request of @p bytes in direction @p type. */
+    void record(IoType type, std::uint64_t bytes);
+
+    /** Bytes moved in the current window. */
+    std::uint64_t windowBytes() const { return win_read_bytes_ + win_write_bytes_; }
+    std::uint64_t windowReadBytes() const { return win_read_bytes_; }
+    std::uint64_t windowWriteBytes() const { return win_write_bytes_; }
+
+    /** Requests completed in the current window. */
+    std::uint64_t windowRequests() const { return win_read_reqs_ + win_write_reqs_; }
+    std::uint64_t windowReadRequests() const { return win_read_reqs_; }
+    std::uint64_t windowWriteRequests() const { return win_write_reqs_; }
+
+    /** Window bandwidth in MB/s given the window duration. */
+    double windowMBps(SimTime window) const;
+    double windowReadMBps(SimTime window) const;
+    double windowWriteMBps(SimTime window) const;
+
+    /** Window IOPS given the window duration. */
+    double windowIops(SimTime window) const;
+
+    /** Read fraction of window requests (RW_Ratio state); 1.0 if idle. */
+    double windowReadRatio() const;
+
+    /** Fold the window into lifetime totals and clear it. */
+    void rollWindow();
+
+    /** Lifetime totals. */
+    std::uint64_t totalBytes() const { return total_bytes_ + windowBytes(); }
+    std::uint64_t totalRequests() const { return total_reqs_ + windowRequests(); }
+
+    /** Lifetime average bandwidth over @p elapsed simulated time. */
+    double totalMBps(SimTime elapsed) const;
+
+    void reset();
+
+  private:
+    std::uint64_t win_read_bytes_ = 0;
+    std::uint64_t win_write_bytes_ = 0;
+    std::uint64_t win_read_reqs_ = 0;
+    std::uint64_t win_write_reqs_ = 0;
+    std::uint64_t total_bytes_ = 0;
+    std::uint64_t total_reqs_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_STATS_BANDWIDTH_METER_H

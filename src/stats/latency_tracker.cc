@@ -1,0 +1,113 @@
+#include "src/stats/latency_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fleetio {
+
+LatencyTracker::LatencyTracker(SimTime slo) : slo_(slo) {}
+
+void
+LatencyTracker::record(SimTime latency)
+{
+    window_.push_back(latency);
+    if (latency > slo_)
+        ++window_violations_;
+}
+
+double
+LatencyTracker::windowMeanNs() const
+{
+    if (window_.empty())
+        return 0.0;
+    double s = 0.0;
+    for (SimTime t : window_)
+        s += double(t);
+    return s / double(window_.size());
+}
+
+SimTime
+LatencyTracker::windowQuantile(double q) const
+{
+    if (window_.empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    std::vector<SimTime> copy = window_;
+    const std::size_t rank =
+        q <= 0.0 ? 0
+                 : std::min(copy.size() - 1,
+                            std::size_t(std::ceil(q * double(copy.size()))) - 1);
+    std::nth_element(copy.begin(), copy.begin() + rank, copy.end());
+    return copy[rank];
+}
+
+double
+LatencyTracker::windowSloViolation() const
+{
+    if (window_.empty())
+        return 0.0;
+    return double(window_violations_) / double(window_.size());
+}
+
+void
+LatencyTracker::rollWindow()
+{
+    for (SimTime t : window_) {
+        hist_.record(t);
+        total_sum_ns_ += double(t);
+        all_.push_back(t);
+    }
+    all_sorted_ = false;
+    total_count_ += window_.size();
+    total_violations_ += window_violations_;
+    window_.clear();
+    window_violations_ = 0;
+}
+
+double
+LatencyTracker::meanNs() const
+{
+    if (total_count_ == 0)
+        return 0.0;
+    return total_sum_ns_ / double(total_count_);
+}
+
+SimTime
+LatencyTracker::quantile(double q) const
+{
+    if (all_.empty())
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    if (!all_sorted_) {
+        std::sort(all_.begin(), all_.end());
+        all_sorted_ = true;
+    }
+    const std::size_t rank =
+        q <= 0.0 ? 0
+                 : std::min(all_.size() - 1,
+                            std::size_t(std::ceil(q * double(all_.size()))) - 1);
+    return all_[rank];
+}
+
+double
+LatencyTracker::sloViolation() const
+{
+    if (total_count_ == 0)
+        return 0.0;
+    return double(total_violations_) / double(total_count_);
+}
+
+void
+LatencyTracker::reset()
+{
+    window_.clear();
+    window_violations_ = 0;
+    all_.clear();
+    all_sorted_ = false;
+    total_count_ = 0;
+    total_violations_ = 0;
+    total_sum_ns_ = 0.0;
+    hist_.reset();
+}
+
+}  // namespace fleetio

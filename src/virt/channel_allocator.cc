@@ -1,0 +1,89 @@
+#include "src/virt/channel_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fleetio {
+
+std::vector<std::vector<ChannelId>>
+ChannelAllocator::equalSplit(const SsdGeometry &geo, std::size_t n)
+{
+    assert(n > 0);
+    std::vector<std::vector<ChannelId>> out(n);
+    const std::uint32_t base = geo.num_channels / std::uint32_t(n);
+    std::uint32_t extra = geo.num_channels % std::uint32_t(n);
+    ChannelId next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t take = base + (extra > 0 ? 1 : 0);
+        if (extra > 0)
+            --extra;
+        for (std::uint32_t k = 0; k < take; ++k)
+            out[i].push_back(next++);
+    }
+    return out;
+}
+
+std::vector<std::vector<ChannelId>>
+ChannelAllocator::sharedAll(const SsdGeometry &geo, std::size_t n)
+{
+    std::vector<ChannelId> all(geo.num_channels);
+    std::iota(all.begin(), all.end(), 0);
+    return std::vector<std::vector<ChannelId>>(n, all);
+}
+
+std::vector<std::vector<ChannelId>>
+ChannelAllocator::proportionalSplit(const SsdGeometry &geo,
+                                    const std::vector<double> &weights,
+                                    std::uint32_t min_per)
+{
+    const std::size_t n = weights.size();
+    assert(n > 0);
+    assert(min_per * n <= geo.num_channels);
+
+    double total_w = 0.0;
+    for (double w : weights)
+        total_w += std::max(w, 0.0);
+
+    std::vector<std::uint32_t> counts(n, min_per);
+    std::uint32_t assigned = min_per * std::uint32_t(n);
+
+    if (total_w > 0) {
+        // Largest-remainder apportionment of the channels beyond min_per.
+        const std::uint32_t spare = geo.num_channels - assigned;
+        std::vector<double> exact(n);
+        std::vector<std::pair<double, std::size_t>> rema(n);
+        std::uint32_t given = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            exact[i] = std::max(weights[i], 0.0) / total_w * spare;
+            const auto whole = std::uint32_t(std::floor(exact[i]));
+            counts[i] += whole;
+            given += whole;
+            rema[i] = {exact[i] - std::floor(exact[i]), i};
+        }
+        std::sort(rema.rbegin(), rema.rend());
+        for (std::size_t k = 0; given < spare && k < n; ++k, ++given)
+            counts[rema[k].second] += 1;
+    } else {
+        // No signal: spread the remainder evenly.
+        std::uint32_t spare = geo.num_channels - assigned;
+        for (std::size_t i = 0; spare > 0; i = (i + 1) % n, --spare)
+            counts[i] += 1;
+    }
+
+    std::vector<std::vector<ChannelId>> out(n);
+    ChannelId next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::uint32_t k = 0; k < counts[i] &&
+             next < geo.num_channels; ++k) {
+            out[i].push_back(next++);
+        }
+    }
+    // Any rounding leftovers go to the last tenant.
+    while (next < geo.num_channels)
+        out[n - 1].push_back(next++);
+    return out;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Channel-allocation helpers: equal hardware-isolated splits, fully
+ * shared software-isolated maps, and quota math.
+ */
+#ifndef FLEETIO_VIRT_CHANNEL_ALLOCATOR_H
+#define FLEETIO_VIRT_CHANNEL_ALLOCATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/ssd/geometry.h"
+
+namespace fleetio {
+
+/** Static helpers for carving the device's channels among tenants. */
+class ChannelAllocator
+{
+  public:
+    /**
+     * Equal contiguous split of all channels among @p n tenants
+     * (hardware isolation). Remainder channels go to the first tenants.
+     */
+    static std::vector<std::vector<ChannelId>>
+    equalSplit(const SsdGeometry &geo, std::size_t n);
+
+    /** Every tenant may write to every channel (software isolation). */
+    static std::vector<std::vector<ChannelId>>
+    sharedAll(const SsdGeometry &geo, std::size_t n);
+
+    /**
+     * Proportional split: tenant i gets round(weights[i] / sum * total)
+     * channels (at least @p min_per each), contiguously assigned.
+     * Used by the Adaptive and SSDKeeper baselines.
+     */
+    static std::vector<std::vector<ChannelId>>
+    proportionalSplit(const SsdGeometry &geo,
+                      const std::vector<double> &weights,
+                      std::uint32_t min_per = 1);
+
+    /** Equal block quota for @p n tenants. */
+    static std::uint64_t equalQuota(const SsdGeometry &geo, std::size_t n)
+    {
+        return geo.totalBlocks() / n;
+    }
+
+    /** Block quota proportional to the channel share. */
+    static std::uint64_t
+    quotaForChannels(const SsdGeometry &geo, std::size_t num_channels)
+    {
+        return geo.blocksPerChannel() * num_channels;
+    }
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_VIRT_CHANNEL_ALLOCATOR_H

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The tenant-visible I/O request: a contiguous logical page range with a
+ * direction, priority, and completion callback.
+ */
+#ifndef FLEETIO_VIRT_IO_REQUEST_H
+#define FLEETIO_VIRT_IO_REQUEST_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * One tenant I/O. Multi-page requests fan out into per-page device
+ * operations; the request completes (and its latency is measured) when
+ * the last page completes.
+ */
+struct IoRequest
+{
+    VssdId vssd = 0;
+    IoType type = IoType::kRead;
+    Lpa lpa = 0;                ///< first logical page
+    std::uint32_t npages = 1;   ///< pages spanned
+    Priority prio = Priority::kMedium;
+
+    SimTime submit_time = 0;    ///< set by the scheduler at submit
+    std::uint32_t pages_done = 0;
+
+    /** Invoked once, at the completion time of the final page. */
+    std::function<void(const IoRequest &, SimTime completion)> on_complete;
+
+    std::uint64_t bytes(std::uint32_t page_size) const
+    {
+        return std::uint64_t(npages) * page_size;
+    }
+};
+
+using IoRequestPtr = std::shared_ptr<IoRequest>;
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_VIRT_IO_REQUEST_H

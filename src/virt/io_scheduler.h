@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The shared-device I/O scheduler: splits tenant requests into page
+ * operations, queues them per channel, and dispatches under the channel
+ * queue-depth limit using priority FIFO (FleetIO / hardware isolation)
+ * and/or token-bucket + stride scheduling (software isolation).
+ */
+#ifndef FLEETIO_VIRT_IO_SCHEDULER_H
+#define FLEETIO_VIRT_IO_SCHEDULER_H
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/types.h"
+#include "src/ssd/flash_device.h"
+#include "src/virt/io_request.h"
+#include "src/virt/stride_scheduler.h"
+#include "src/virt/token_bucket.h"
+#include "src/virt/vssd.h"
+
+namespace fleetio {
+
+/**
+ * Request fan-out and channel-level dispatch for all collocated vSSDs.
+ *
+ * Scheduling is composed from two switches:
+ *  - usePriority(): order candidates by the vSSD priority level first
+ *    (FleetIO's Set_Priority action; FIFO within a level);
+ *  - useStride(): break ties (or, alone, order) by stride-scheduler
+ *    pass values; token buckets gate eligibility when configured.
+ *
+ * Writes resolve their physical placement at enqueue time through the
+ * tenant's FTL (own channels plus harvested gSB capacity); reads go to
+ * wherever the data lives. Writes that find no free capacity wait for
+ * GC and retry on a short timer.
+ */
+class IoScheduler
+{
+  public:
+    IoScheduler(FlashDevice &dev, VssdManager &vssds);
+
+    /** Enable priority-level ordering (default on). */
+    void usePriority(bool on) { use_priority_ = on; }
+
+    /**
+     * Per-priority dispatch cap: an op of priority p is dispatched only
+     * while the channel has fewer than cap(p) outstanding ops. Lower
+     * caps keep the device queue shallow for low-priority traffic, so
+     * high-priority I/O on shared channels sees a short bus backlog —
+     * the mechanism behind FleetIO's Set_Priority isolation. Caps are
+     * a device-dispatch property and apply in every scheduling mode
+     * (everything defaults to medium).
+     */
+    void setPriorityCap(Priority p, std::uint32_t cap)
+    {
+        prio_caps_[std::size_t(p)] = cap;
+    }
+    std::uint32_t priorityCap(Priority p) const
+    {
+        return prio_caps_[std::size_t(p)];
+    }
+
+    /** Enable stride proportional sharing (default off). */
+    void useStride(bool on) { use_stride_ = on; }
+
+    /** Set a tenant's stride tickets (registers it for stride mode). */
+    void setTickets(VssdId id, double tickets)
+    {
+        stride_.setTickets(id, tickets);
+    }
+
+    /**
+     * Install a token-bucket rate limit for a tenant (bytes/s, burst
+     * bytes). Pass rate <= 0 to remove.
+     */
+    void setRateLimit(VssdId id, double rate_bytes_per_sec,
+                      double burst_bytes);
+
+    /** Submit one tenant request. The scheduler stamps submit_time and
+     *  the vSSD's current priority. */
+    void submit(IoRequestPtr req);
+
+    /** Page operations waiting across all channels (telemetry). */
+    std::uint64_t queuedOps() const { return queued_ops_; }
+
+    /** Requests whose writes are stalled on free capacity. */
+    std::size_t blockedWrites() const { return blocked_.size(); }
+
+    /** Lifetime count of dispatched page operations. */
+    std::uint64_t dispatchedOps() const { return dispatched_ops_; }
+
+  private:
+    struct PageOp
+    {
+        IoRequestPtr req;
+        Ppa ppa = kNoPpa;
+        std::uint64_t seq = 0;
+        SimTime enqueue_time = 0;
+        /** Op targets a channel outside the vSSD's own set (i.e.
+         *  harvested capacity): full priority caps apply. On own
+         *  channels a vSSD is never throttled below medium. */
+        bool foreign = false;
+    };
+
+    struct BlockedWrite
+    {
+        IoRequestPtr req;
+        Lpa lpa;
+    };
+
+    /** Per-channel queues, one deque per vSSD. */
+    using ChannelQueues = std::vector<std::deque<PageOp>>;
+
+    void enqueuePage(IoRequestPtr req, Lpa lpa);
+    bool isForeign(const Ftl &ftl, Ppa ppa) const;
+    void enqueueOp(ChannelId ch, VssdId vssd, PageOp op);
+    void completeZeroFill(IoRequestPtr req);
+    void onPageDone(IoRequestPtr req);
+    void pump(ChannelId ch);
+    void retryBlocked();
+    void scheduleTokenPump(ChannelId ch, SimTime when);
+
+    FlashDevice &dev_;
+    VssdManager &vssds_;
+    std::vector<ChannelQueues> queues_;  // [channel][vssd]
+    std::unordered_map<VssdId, std::unique_ptr<TokenBucket>> buckets_;
+    StrideScheduler stride_;
+    std::vector<BlockedWrite> blocked_;
+    std::vector<bool> token_pump_scheduled_;
+
+    bool use_priority_ = true;
+    bool use_stride_ = false;
+    /** Dispatch caps indexed by Priority (low, medium, high). */
+    std::array<std::uint32_t, kNumPriorities> prio_caps_{2u, 6u, 64u};
+    bool retry_scheduled_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t queued_ops_ = 0;
+    std::uint64_t dispatched_ops_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_VIRT_IO_SCHEDULER_H

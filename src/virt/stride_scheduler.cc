@@ -1,0 +1,70 @@
+#include "src/virt/stride_scheduler.h"
+
+#include <cassert>
+#include <limits>
+
+namespace fleetio {
+
+StrideScheduler::Entry &
+StrideScheduler::entry(VssdId id)
+{
+    auto it = entries_.find(id);
+    if (it == entries_.end()) {
+        Entry e;
+        e.stride = kStrideScale;  // 1 ticket
+        e.pass = global_pass_;
+        it = entries_.emplace(id, e).first;
+    }
+    return it->second;
+}
+
+void
+StrideScheduler::setTickets(VssdId id, double tickets)
+{
+    assert(tickets > 0);
+    Entry &e = entry(id);
+    e.stride = kStrideScale / tickets;
+}
+
+void
+StrideScheduler::remove(VssdId id)
+{
+    entries_.erase(id);
+}
+
+double
+StrideScheduler::pass(VssdId id) const
+{
+    auto it = entries_.find(id);
+    return it == entries_.end() ? 0.0 : it->second.pass;
+}
+
+void
+StrideScheduler::charge(VssdId id, double work)
+{
+    Entry &e = entry(id);
+    e.pass += e.stride * work;
+    if (e.pass > global_pass_)
+        global_pass_ = e.pass;
+}
+
+std::size_t
+StrideScheduler::pickMin(const std::vector<VssdId> &candidates) const
+{
+    std::size_t best = SIZE_MAX;
+    double best_pass = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        auto it = entries_.find(candidates[i]);
+        // Unregistered candidates joined "now": treat as global pass so
+        // newcomers neither starve nor monopolize.
+        const double p =
+            it == entries_.end() ? global_pass_ : it->second.pass;
+        if (p < best_pass) {
+            best_pass = p;
+            best = i;
+        }
+    }
+    return best;
+}
+
+}  // namespace fleetio

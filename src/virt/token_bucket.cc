@@ -1,0 +1,53 @@
+#include "src/virt/token_bucket.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fleetio {
+
+TokenBucket::TokenBucket(double rate, double capacity)
+    : rate_(rate), capacity_(capacity), tokens_(capacity)
+{
+    assert(rate > 0 && capacity > 0);
+}
+
+void
+TokenBucket::refill(SimTime now)
+{
+    if (now <= last_)
+        return;
+    tokens_ = std::min(capacity_,
+                       tokens_ + rate_ * toSeconds(now - last_));
+    last_ = now;
+}
+
+double
+TokenBucket::tokens(SimTime now)
+{
+    refill(now);
+    return tokens_;
+}
+
+bool
+TokenBucket::tryConsume(double bytes, SimTime now)
+{
+    refill(now);
+    if (tokens_ + 1e-9 < bytes)
+        return false;
+    tokens_ -= bytes;
+    return true;
+}
+
+SimTime
+TokenBucket::availableAt(double bytes, SimTime now)
+{
+    refill(now);
+    if (tokens_ + 1e-9 >= bytes)
+        return now;
+    const double deficit = bytes - tokens_;
+    const double wait_sec = deficit / rate_;
+    return now + SimTime(std::ceil(wait_sec * 1e9));
+}
+
+}  // namespace fleetio

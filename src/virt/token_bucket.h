@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Token-bucket rate limiter used by the software-isolation baseline
+ * (blk-throttle style, paper §2.1/§4.1).
+ */
+#ifndef FLEETIO_VIRT_TOKEN_BUCKET_H
+#define FLEETIO_VIRT_TOKEN_BUCKET_H
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * Classic token bucket over bytes. Tokens refill continuously at
+ * @p rate bytes/second up to @p capacity; an I/O of B bytes may proceed
+ * when at least B tokens are present.
+ */
+class TokenBucket
+{
+  public:
+    /**
+     * @param rate     refill rate in bytes per second
+     * @param capacity maximum burst in bytes
+     */
+    TokenBucket(double rate, double capacity);
+
+    /** Replace the refill rate (tokens keep their level). */
+    void setRate(double rate) { rate_ = rate; }
+    double rate() const { return rate_; }
+    double capacity() const { return capacity_; }
+
+    /** Current token level after refilling to @p now. */
+    double tokens(SimTime now);
+
+    /**
+     * Consume @p bytes if available.
+     * @retval true tokens were consumed.
+     */
+    bool tryConsume(double bytes, SimTime now);
+
+    /**
+     * Earliest time at which @p bytes of tokens will be available,
+     * assuming no other consumption. Returns @p now when available now.
+     */
+    SimTime availableAt(double bytes, SimTime now);
+
+  private:
+    void refill(SimTime now);
+
+    double rate_;       ///< bytes per second
+    double capacity_;   ///< bytes
+    double tokens_;
+    SimTime last_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_VIRT_TOKEN_BUCKET_H

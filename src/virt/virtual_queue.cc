@@ -1,0 +1,3 @@
+#include "src/virt/virtual_queue.h"
+
+// VirtualQueue is header-only; this file anchors it in the library.

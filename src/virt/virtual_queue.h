@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Per-vSSD virtual queue: tracks pending I/O and queueing delay, feeding
+ * the QDelay RL state (paper §3.3.1 — "a dynamic virtual queue in each
+ * vSSD to track all the pending I/O requests").
+ */
+#ifndef FLEETIO_VIRT_VIRTUAL_QUEUE_H
+#define FLEETIO_VIRT_VIRTUAL_QUEUE_H
+
+#include <cstdint>
+
+#include "src/sim/types.h"
+
+namespace fleetio {
+
+/**
+ * Lightweight counters over the scheduler's queues for one vSSD:
+ * current depth (page operations waiting for dispatch) plus window
+ * aggregates of dispatch wait time.
+ */
+class VirtualQueue
+{
+  public:
+    /** A page operation entered the queue. */
+    void onEnqueue() { ++depth_; ++win_enqueued_; }
+
+    /** A page operation left the queue for the device after waiting
+     *  @p wait. */
+    void onDispatch(SimTime wait)
+    {
+        if (depth_ > 0)
+            --depth_;
+        ++win_dispatched_;
+        win_wait_sum_ += wait;
+    }
+
+    /** Operations currently waiting. */
+    std::uint32_t depth() const { return depth_; }
+
+    /** Mean dispatch wait over the window (ns). */
+    double windowMeanWaitNs() const
+    {
+        return win_dispatched_ ? double(win_wait_sum_) / win_dispatched_
+                               : 0.0;
+    }
+
+    /** Page ops enqueued in the window. */
+    std::uint64_t windowEnqueued() const { return win_enqueued_; }
+
+    /** Reset window aggregates (depth persists — it is instantaneous). */
+    void rollWindow()
+    {
+        win_enqueued_ = 0;
+        win_dispatched_ = 0;
+        win_wait_sum_ = 0;
+    }
+
+  private:
+    std::uint32_t depth_ = 0;
+    std::uint64_t win_enqueued_ = 0;
+    std::uint64_t win_dispatched_ = 0;
+    std::uint64_t win_wait_sum_ = 0;
+};
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_VIRT_VIRTUAL_QUEUE_H

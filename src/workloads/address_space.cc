@@ -1,0 +1,58 @@
+#include "src/workloads/address_space.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fleetio {
+
+namespace {
+// Odd multiplier scatters Zipf ranks over the working set (Fibonacci
+// hashing constant).
+constexpr std::uint64_t kScatter = 0x9E3779B97F4A7C15ull;
+}
+
+AddressSpace::AddressSpace(std::uint64_t total_pages, double working_set,
+                           std::uint32_t num_streams, double zipf_skew)
+    : zipf_skew_(zipf_skew)
+{
+    assert(total_pages > 0);
+    working_set = std::clamp(working_set, 0.01, 1.0);
+    ws_pages_ = std::max<std::uint64_t>(1,
+        std::uint64_t(double(total_pages) * working_set));
+    num_streams = std::max<std::uint32_t>(1, num_streams);
+    cursors_.assign(num_streams, 0);
+    regions_.resize(num_streams);
+    region_len_ = std::max<std::uint64_t>(1, ws_pages_ / num_streams);
+    for (std::uint32_t s = 0; s < num_streams; ++s)
+        regions_[s] = std::uint64_t(s) * region_len_;
+}
+
+Lpa
+AddressSpace::randomPage(Rng &rng)
+{
+    const std::uint64_t rank =
+        zipf_skew_ > 0 ? rng.zipf(ws_pages_, zipf_skew_)
+                       : rng.uniformInt(ws_pages_);
+    // Scatter the rank so hot pages are not physically adjacent.
+    return (rank * kScatter) % ws_pages_;
+}
+
+Lpa
+AddressSpace::streamNext(std::uint32_t s, std::uint32_t npages)
+{
+    assert(s < cursors_.size());
+    std::uint64_t &cur = cursors_[s];
+    if (cur + npages > region_len_)
+        cur = 0;
+    const Lpa lpa = regions_[s] + cur;
+    cur += npages;
+    return lpa;
+}
+
+std::uint32_t
+AddressSpace::pickStream(Rng &rng)
+{
+    return std::uint32_t(rng.uniformInt(std::uint64_t(cursors_.size())));
+}
+
+}  // namespace fleetio

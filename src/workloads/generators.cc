@@ -1,0 +1,210 @@
+#include "src/workloads/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fleetio {
+
+std::vector<WorkloadKind>
+allWorkloadKinds()
+{
+    return {WorkloadKind::kTeraSort,     WorkloadKind::kMlPrep,
+            WorkloadKind::kPageRank,     WorkloadKind::kVdiWeb,
+            WorkloadKind::kYcsbB,        WorkloadKind::kLiveMaps,
+            WorkloadKind::kSearchEngine, WorkloadKind::kTpce,
+            WorkloadKind::kBatchAnalytics};
+}
+
+std::string
+workloadName(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kTeraSort: return "TeraSort";
+      case WorkloadKind::kMlPrep: return "ML Prep";
+      case WorkloadKind::kPageRank: return "PageRank";
+      case WorkloadKind::kVdiWeb: return "VDI-Web";
+      case WorkloadKind::kYcsbB: return "YCSB";
+      case WorkloadKind::kLiveMaps: return "LiveMaps";
+      case WorkloadKind::kSearchEngine: return "SearchEngine";
+      case WorkloadKind::kTpce: return "TPCE";
+      case WorkloadKind::kBatchAnalytics: return "BatchAnalytics";
+    }
+    return "unknown";
+}
+
+bool
+isBandwidthIntensive(WorkloadKind kind)
+{
+    switch (kind) {
+      case WorkloadKind::kTeraSort:
+      case WorkloadKind::kMlPrep:
+      case WorkloadKind::kPageRank:
+      case WorkloadKind::kBatchAnalytics:
+        return true;
+      default:
+        return false;
+    }
+}
+
+WorkloadProfile
+profileFor(WorkloadKind kind, double intensity_scale)
+{
+    WorkloadProfile p;
+    p.name = workloadName(kind);
+
+    switch (kind) {
+      case WorkloadKind::kTeraSort:
+        // Sort: large sequential reads of input runs, large sequential
+        // writes of merged output; roughly balanced mix.
+        p.mode = WorkloadProfile::Mode::kClosedLoop;
+        p.outstanding = 32;
+        p.read_fraction = 0.45;
+        p.read_pages_min = 4;  p.read_pages_max = 16;   // 64-256 KB
+        p.write_pages_min = 4; p.write_pages_max = 16;
+        p.sequential_fraction = 0.9;
+        p.num_streams = 4;
+        p.working_set = 0.35;
+        p.zipf_skew = 0.0;
+        // Application-limited on average (~180 MB/s hardware-isolated)
+        // with merge-phase bursts that want far more than the share.
+        p.think_mean = msec(100);
+        p.burst_factor = 33.0;
+        p.burst_period = sec(6);
+        p.burst_duty = 0.4;
+        break;
+
+      case WorkloadKind::kMlPrep:
+        // Image preprocessing: streaming reads of raw images, batched
+        // writes of transformed tensors.
+        p.mode = WorkloadProfile::Mode::kClosedLoop;
+        p.outstanding = 24;
+        p.read_fraction = 0.72;
+        p.read_pages_min = 2;  p.read_pages_max = 8;    // 32-128 KB
+        p.write_pages_min = 4; p.write_pages_max = 12;
+        p.sequential_fraction = 0.75;
+        p.num_streams = 8;
+        p.working_set = 0.4;
+        p.zipf_skew = 0.2;
+        p.think_mean = msec(40);
+        p.burst_factor = 25.0;
+        p.burst_period = sec(7);
+        p.burst_duty = 0.4;
+        break;
+
+      case WorkloadKind::kPageRank:
+        // Graph scans: read-dominated full-edge-list sweeps with
+        // occasional rank-vector writes.
+        p.mode = WorkloadProfile::Mode::kClosedLoop;
+        p.outstanding = 32;
+        p.read_fraction = 0.85;
+        p.read_pages_min = 4;  p.read_pages_max = 16;
+        p.write_pages_min = 2; p.write_pages_max = 8;
+        p.sequential_fraction = 0.8;
+        p.num_streams = 2;
+        p.working_set = 0.45;
+        p.zipf_skew = 0.0;
+        p.think_mean = msec(55);
+        p.burst_factor = 30.0;
+        p.burst_period = sec(9);
+        p.burst_duty = 0.45;
+        break;
+
+      case WorkloadKind::kVdiWeb:
+        // Virtual desktops: small random mixed I/O, diurnal bursts.
+        p.mode = WorkloadProfile::Mode::kOpenLoop;
+        p.arrival_iops = 1500.0;
+        p.read_fraction = 0.7;
+        p.read_pages_min = 1;  p.read_pages_max = 2;    // <= 32 KB
+        p.write_pages_min = 1; p.write_pages_max = 2;
+        p.sequential_fraction = 0.15;
+        p.num_streams = 4;
+        p.working_set = 0.5;
+        p.zipf_skew = 0.9;
+        p.burst_factor = 2.0;
+        p.burst_period = sec(8);
+        p.burst_duty = 0.3;
+        break;
+
+      case WorkloadKind::kYcsbB:
+        // YCSB-B over SQLite: 95 % point reads with strong key
+        // locality (lower LPA entropy -> its own cluster in Fig. 6).
+        p.mode = WorkloadProfile::Mode::kOpenLoop;
+        p.arrival_iops = 2500.0;
+        p.read_fraction = 0.95;
+        p.read_pages_min = 1;  p.read_pages_max = 1;
+        p.write_pages_min = 1; p.write_pages_max = 1;
+        p.sequential_fraction = 0.0;
+        p.num_streams = 1;
+        p.working_set = 0.5;
+        p.zipf_skew = 1.25;
+        break;
+
+      case WorkloadKind::kLiveMaps:
+        p.mode = WorkloadProfile::Mode::kOpenLoop;
+        p.arrival_iops = 1200.0;
+        p.read_fraction = 0.85;
+        p.read_pages_min = 1;  p.read_pages_max = 4;
+        p.write_pages_min = 1; p.write_pages_max = 2;
+        p.sequential_fraction = 0.1;
+        p.num_streams = 2;
+        p.working_set = 0.8;
+        p.zipf_skew = 0.8;
+        break;
+
+      case WorkloadKind::kSearchEngine:
+        p.mode = WorkloadProfile::Mode::kOpenLoop;
+        p.arrival_iops = 1800.0;
+        p.read_fraction = 0.92;
+        p.read_pages_min = 1;  p.read_pages_max = 1;
+        p.write_pages_min = 1; p.write_pages_max = 2;
+        p.sequential_fraction = 0.05;
+        p.num_streams = 1;
+        p.working_set = 0.85;
+        p.zipf_skew = 0.7;
+        p.burst_factor = 2.5;
+        p.burst_period = sec(5);
+        p.burst_duty = 0.2;
+        break;
+
+      case WorkloadKind::kTpce:
+        p.mode = WorkloadProfile::Mode::kOpenLoop;
+        p.arrival_iops = 1000.0;
+        p.read_fraction = 0.9;
+        p.read_pages_min = 1;  p.read_pages_max = 2;
+        p.write_pages_min = 1; p.write_pages_max = 2;
+        p.sequential_fraction = 0.05;
+        p.num_streams = 2;
+        p.working_set = 0.7;
+        p.zipf_skew = 0.95;
+        break;
+
+      case WorkloadKind::kBatchAnalytics:
+        p.mode = WorkloadProfile::Mode::kClosedLoop;
+        p.outstanding = 16;
+        p.read_fraction = 0.6;
+        p.read_pages_min = 4;  p.read_pages_max = 8;
+        p.write_pages_min = 2; p.write_pages_max = 8;
+        p.sequential_fraction = 0.8;
+        p.num_streams = 4;
+        p.working_set = 0.8;
+        p.zipf_skew = 0.1;
+        p.think_mean = msec(12);
+        p.burst_factor = 6.0;
+        p.burst_period = sec(5);
+        p.burst_duty = 0.3;
+        break;
+    }
+
+    assert(intensity_scale > 0);
+    if (p.mode == WorkloadProfile::Mode::kOpenLoop) {
+        p.arrival_iops *= intensity_scale;
+    } else {
+        p.outstanding = std::max<std::uint32_t>(
+            1, std::uint32_t(std::lround(p.outstanding *
+                                         intensity_scale)));
+    }
+    return p;
+}
+
+}  // namespace fleetio

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Calibrated profiles for the paper's workloads (Table 4: TeraSort,
+ * ML Prep, PageRank, VDI-Web, YCSB) and the pre-training/clustering set
+ * (LiveMaps, SearchEngine, TPCE, Batch Analytics).
+ *
+ * Hardware substitution note (DESIGN.md §2): the real applications are
+ * replaced by synthetic generators matched to each application's
+ * published block-level traits — read/write mix, request-size range,
+ * address locality, and burstiness — which are exactly the features
+ * FleetIO's clustering and RL states observe.
+ */
+#ifndef FLEETIO_WORKLOADS_GENERATORS_H
+#define FLEETIO_WORKLOADS_GENERATORS_H
+
+#include <string>
+#include <vector>
+
+#include "src/workloads/workload.h"
+
+namespace fleetio {
+
+/** The modelled applications. */
+enum class WorkloadKind {
+    kTeraSort,      ///< Hadoop sort: huge sequential reads + writes
+    kMlPrep,        ///< image preprocessing: streaming reads, batched writes
+    kPageRank,      ///< graph analytics: scan-dominated, read-heavy
+    kVdiWeb,        ///< virtual desktops: small random mixed I/O, bursty
+    kYcsbB,         ///< KV store, 95 % reads, strong key locality
+    kLiveMaps,      ///< map tiles: read-mostly, medium locality
+    kSearchEngine,  ///< index serving: tiny reads, bursty
+    kTpce,          ///< OLTP: small reads with skewed access
+    kBatchAnalytics ///< pre-training only: mixed scans
+};
+
+/** All kinds, in declaration order. */
+std::vector<WorkloadKind> allWorkloadKinds();
+
+/** Short display name ("TeraSort", "YCSB", ...). */
+std::string workloadName(WorkloadKind kind);
+
+/** Is this a bandwidth-intensive (vs latency-sensitive) application? */
+bool isBandwidthIntensive(WorkloadKind kind);
+
+/**
+ * The calibrated profile. @p intensity_scale multiplies open-loop
+ * arrival rates / closed-loop concurrency, letting scaled-down devices
+ * keep the same relative load.
+ */
+WorkloadProfile profileFor(WorkloadKind kind,
+                           double intensity_scale = 1.0);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_WORKLOADS_GENERATORS_H

@@ -1,0 +1,96 @@
+/** @file Unit tests for the Adam optimizer. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rl/adam.h"
+
+namespace fleetio::rl {
+namespace {
+
+TEST(Adam, FirstStepMovesByLearningRate)
+{
+    ParameterStore ps;
+    ps.allocate(1);
+    ps.rawValues()[0] = 1.0;
+    Adam::Config cfg;
+    cfg.lr = 0.1;
+    cfg.max_grad_norm = 0.0;
+    Adam opt(ps, cfg);
+    ps.rawGrads()[0] = 123.0;  // any positive gradient
+    opt.step();
+    // Bias-corrected Adam's first step is ~lr in gradient direction.
+    EXPECT_NEAR(ps.rawValues()[0], 1.0 - 0.1, 1e-6);
+    EXPECT_EQ(opt.t(), 1u);
+}
+
+TEST(Adam, ConvergesOnQuadratic)
+{
+    ParameterStore ps;
+    ps.allocate(2);
+    ps.rawValues()[0] = 5.0;
+    ps.rawValues()[1] = -3.0;
+    Adam::Config cfg;
+    cfg.lr = 0.05;
+    cfg.max_grad_norm = 0.0;
+    Adam opt(ps, cfg);
+    // Minimize (x-2)^2 + (y+1)^2.
+    for (int i = 0; i < 2000; ++i) {
+        ps.zeroGrads();
+        ps.rawGrads()[0] = 2 * (ps.rawValues()[0] - 2.0);
+        ps.rawGrads()[1] = 2 * (ps.rawValues()[1] + 1.0);
+        opt.step();
+    }
+    EXPECT_NEAR(ps.rawValues()[0], 2.0, 1e-2);
+    EXPECT_NEAR(ps.rawValues()[1], -1.0, 1e-2);
+}
+
+TEST(Adam, GradientClippingBoundsUpdateDirection)
+{
+    ParameterStore ps;
+    ps.allocate(2);
+    Adam::Config cfg;
+    cfg.lr = 1.0;
+    cfg.max_grad_norm = 1.0;
+    Adam opt(ps, cfg);
+    ps.rawGrads()[0] = 300.0;
+    ps.rawGrads()[1] = 400.0;  // norm 500
+    opt.step();
+    // After clipping to norm 1, grads should be 0.6 / 0.8.
+    EXPECT_NEAR(ps.rawGrads()[0], 0.6, 1e-9);
+    EXPECT_NEAR(ps.rawGrads()[1], 0.8, 1e-9);
+}
+
+TEST(Adam, NoClippingBelowThreshold)
+{
+    ParameterStore ps;
+    ps.allocate(1);
+    Adam::Config cfg;
+    cfg.max_grad_norm = 10.0;
+    Adam opt(ps, cfg);
+    ps.rawGrads()[0] = 0.5;
+    opt.step();
+    EXPECT_NEAR(ps.rawGrads()[0], 0.5, 1e-12);
+}
+
+TEST(Adam, DefaultConfigUsesPaperLearningRate)
+{
+    ParameterStore ps;
+    ps.allocate(1);
+    Adam opt(ps);
+    EXPECT_DOUBLE_EQ(opt.config().lr, 1e-4);
+}
+
+TEST(Adam, StateGrowsWithLateAllocations)
+{
+    ParameterStore ps;
+    ps.allocate(2);
+    Adam opt(ps);
+    ps.allocate(3);  // layer added after optimizer construction
+    ps.rawGrads()[4] = 1.0;
+    opt.step();  // must not crash; new params updated
+    EXPECT_LT(ps.rawValues()[4], 0.0);
+}
+
+}  // namespace
+}  // namespace fleetio::rl

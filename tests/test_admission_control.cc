@@ -1,0 +1,117 @@
+/** @file Tests for admission control (§3.5 semantics). */
+#include <gtest/gtest.h>
+
+#include "src/core/admission_control.h"
+#include "src/harness/testbed.h"
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+namespace {
+
+class AdmissionTest : public ::testing::Test
+{
+  protected:
+    AdmissionTest()
+    {
+        TestbedOptions opts;
+        opts.geo = testGeometry();
+        tb_ = std::make_unique<Testbed>(opts);
+        const auto split =
+            ChannelAllocator::equalSplit(tb_->device().geometry(), 2);
+        const auto quota = tb_->device().geometry().totalBlocks() / 2;
+        tb_->addTenant(WorkloadKind::kVdiWeb, split[0], quota,
+                       msec(2));
+        tb_->addTenant(WorkloadKind::kTeraSort, split[1], quota,
+                       msec(20));
+        adm_ = std::make_unique<AdmissionControl>(tb_->gsb(), tb_->eq(),
+                                                  msec(50));
+    }
+
+    double chBw() const
+    {
+        return tb_->device().geometry().channelBandwidthMBps();
+    }
+
+    std::unique_ptr<Testbed> tb_;
+    std::unique_ptr<AdmissionControl> adm_;
+};
+
+TEST_F(AdmissionTest, ActionsWaitForFlush)
+{
+    adm_->submit({0, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 2, 0});
+    EXPECT_EQ(adm_->pending(), 1u);
+    EXPECT_EQ(tb_->gsb().donatedChannels(0), 0u);
+    adm_->flush();
+    EXPECT_EQ(adm_->pending(), 0u);
+    EXPECT_EQ(tb_->gsb().donatedChannels(0), 2u);
+    EXPECT_EQ(adm_->processed(), 1u);
+}
+
+TEST_F(AdmissionTest, MakeHarvestableExecutesBeforeHarvest)
+{
+    // Harvest submitted FIRST; donation second. The reorder lets the
+    // harvest succeed within the same batch (§3.5).
+    adm_->submit({1, PendingAction::Type::kHarvest, chBw() * 2, 0});
+    adm_->submit({0, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 2, 0});
+    adm_->flush();
+    EXPECT_EQ(tb_->gsb().heldChannels(1), 2u);
+}
+
+TEST_F(AdmissionTest, PermissionPolicyRejects)
+{
+    // Forbid tenant 1 from harvesting (spot-VM style policy).
+    adm_->setPermissionCheck([](const PendingAction &a) {
+        return !(a.vssd == 1 &&
+                 a.type == PendingAction::Type::kHarvest);
+    });
+    adm_->submit({0, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 2, 0});
+    adm_->submit({1, PendingAction::Type::kHarvest, chBw() * 2, 0});
+    adm_->flush();
+    EXPECT_EQ(adm_->rejected(), 1u);
+    EXPECT_EQ(tb_->gsb().heldChannels(1), 0u);
+    EXPECT_EQ(tb_->gsb().donatedChannels(0), 2u);
+}
+
+TEST_F(AdmissionTest, PeriodicFlushRunsOnTimer)
+{
+    adm_->start();
+    adm_->submit({0, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 1, 0});
+    tb_->run(msec(60));
+    EXPECT_EQ(adm_->pending(), 0u);
+    EXPECT_EQ(tb_->gsb().donatedChannels(0), 1u);
+    adm_->stop();
+}
+
+TEST_F(AdmissionTest, ContentionFavoursLeastHarvested)
+{
+    // Add a third tenant that shares nothing and competes for supply.
+    // (Testbed has 2 tenants; create the contention between them by
+    // giving tenant 1 an existing holding.)
+    adm_->submit({0, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 2, 0});
+    adm_->flush();
+    adm_->submit({1, PendingAction::Type::kHarvest, chBw() * 2, 0});
+    adm_->flush();
+    ASSERT_EQ(tb_->gsb().heldChannels(1), 2u);
+    // Now both tenants ask; supply is only 2 channels. Tenant 0 holds
+    // nothing, so its request is served first.
+    adm_->submit({1, PendingAction::Type::kHarvest, chBw() * 4, 0});
+    adm_->submit({0, PendingAction::Type::kHarvest, chBw() * 2, 0});
+    adm_->submit({1, PendingAction::Type::kMakeHarvestable,
+                  chBw() * 2, 0});
+    adm_->flush();
+    EXPECT_EQ(tb_->gsb().heldChannels(0), 2u);
+}
+
+TEST_F(AdmissionTest, EmptyFlushIsSafe)
+{
+    adm_->flush();
+    EXPECT_EQ(adm_->processed(), 0u);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,95 @@
+/** @file Unit tests for windowed bandwidth / IOPS accounting. */
+#include <gtest/gtest.h>
+
+#include "src/stats/bandwidth_meter.h"
+
+namespace fleetio {
+namespace {
+
+constexpr std::uint64_t kMB = 1024 * 1024;
+
+TEST(BandwidthMeter, WindowBytesAndRequestsByDirection)
+{
+    BandwidthMeter m;
+    m.record(IoType::kRead, 2 * kMB);
+    m.record(IoType::kWrite, 1 * kMB);
+    m.record(IoType::kRead, 1 * kMB);
+    EXPECT_EQ(m.windowReadBytes(), 3 * kMB);
+    EXPECT_EQ(m.windowWriteBytes(), 1 * kMB);
+    EXPECT_EQ(m.windowBytes(), 4 * kMB);
+    EXPECT_EQ(m.windowReadRequests(), 2u);
+    EXPECT_EQ(m.windowWriteRequests(), 1u);
+}
+
+TEST(BandwidthMeter, MBpsOverWindow)
+{
+    BandwidthMeter m;
+    m.record(IoType::kRead, 64 * kMB);
+    EXPECT_NEAR(m.windowMBps(sec(2)), 32.0, 1e-9);
+    EXPECT_NEAR(m.windowReadMBps(sec(2)), 32.0, 1e-9);
+    EXPECT_NEAR(m.windowWriteMBps(sec(2)), 0.0, 1e-9);
+}
+
+TEST(BandwidthMeter, IopsOverWindow)
+{
+    BandwidthMeter m;
+    for (int i = 0; i < 500; ++i)
+        m.record(IoType::kRead, 4096);
+    EXPECT_NEAR(m.windowIops(sec(1)), 500.0, 1e-9);
+    EXPECT_NEAR(m.windowIops(msec(500)), 1000.0, 1e-9);
+}
+
+TEST(BandwidthMeter, ReadRatio)
+{
+    BandwidthMeter m;
+    EXPECT_DOUBLE_EQ(m.windowReadRatio(), 1.0);  // idle convention
+    m.record(IoType::kRead, 1);
+    m.record(IoType::kRead, 1);
+    m.record(IoType::kRead, 1);
+    m.record(IoType::kWrite, 1);
+    EXPECT_DOUBLE_EQ(m.windowReadRatio(), 0.75);
+}
+
+TEST(BandwidthMeter, RollWindowAccumulatesTotals)
+{
+    BandwidthMeter m;
+    m.record(IoType::kWrite, 10 * kMB);
+    m.rollWindow();
+    EXPECT_EQ(m.windowBytes(), 0u);
+    EXPECT_EQ(m.totalBytes(), 10 * kMB);
+    m.record(IoType::kRead, 5 * kMB);
+    // totals include the open window
+    EXPECT_EQ(m.totalBytes(), 15 * kMB);
+    EXPECT_EQ(m.totalRequests(), 2u);
+}
+
+TEST(BandwidthMeter, TotalMBps)
+{
+    BandwidthMeter m;
+    m.record(IoType::kRead, 100 * kMB);
+    m.rollWindow();
+    EXPECT_NEAR(m.totalMBps(sec(10)), 10.0, 1e-9);
+}
+
+TEST(BandwidthMeter, ZeroWindowDurationIsSafe)
+{
+    BandwidthMeter m;
+    m.record(IoType::kRead, kMB);
+    EXPECT_EQ(m.windowMBps(0), 0.0);
+    EXPECT_EQ(m.windowIops(0), 0.0);
+    EXPECT_EQ(m.totalMBps(0), 0.0);
+}
+
+TEST(BandwidthMeter, ResetClearsAll)
+{
+    BandwidthMeter m;
+    m.record(IoType::kRead, kMB);
+    m.rollWindow();
+    m.record(IoType::kWrite, kMB);
+    m.reset();
+    EXPECT_EQ(m.totalBytes(), 0u);
+    EXPECT_EQ(m.windowBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace fleetio

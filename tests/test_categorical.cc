@@ -1,0 +1,98 @@
+/** @file Unit tests for the categorical distribution. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rl/categorical.h"
+
+namespace fleetio::rl {
+namespace {
+
+TEST(Categorical, ProbsAndLogProbsConsistent)
+{
+    Categorical d({0.0, 1.0, 2.0});
+    double total = 0;
+    for (std::size_t a = 0; a < 3; ++a) {
+        EXPECT_NEAR(std::exp(d.logProb(a)), d.probs()[a], 1e-12);
+        total += d.probs()[a];
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Categorical, ArgmaxPicksLargestLogit)
+{
+    Categorical d({-1.0, 5.0, 2.0});
+    EXPECT_EQ(d.argmax(), 1u);
+}
+
+TEST(Categorical, SamplingFollowsDistribution)
+{
+    Categorical d({0.0, std::log(3.0)});  // probs 0.25 / 0.75
+    Rng rng(9);
+    int ones = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ones += d.sample(rng) == 1;
+    EXPECT_NEAR(double(ones) / n, 0.75, 0.02);
+}
+
+TEST(Categorical, UniformEntropyIsLogK)
+{
+    Categorical d({0.7, 0.7, 0.7, 0.7});
+    EXPECT_NEAR(d.entropy(), std::log(4.0), 1e-12);
+}
+
+TEST(Categorical, DegenerateEntropyNearZero)
+{
+    Categorical d({100.0, 0.0, 0.0});
+    EXPECT_NEAR(d.entropy(), 0.0, 1e-6);
+}
+
+TEST(Categorical, LogProbGradIsOneHotMinusProbs)
+{
+    Categorical d({0.1, 0.2, 0.3});
+    const Vector g = d.logProbGradLogits(1, 2.0);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const double expect =
+            2.0 * ((i == 1 ? 1.0 : 0.0) - d.probs()[i]);
+        EXPECT_NEAR(g[i], expect, 1e-12);
+    }
+}
+
+TEST(Categorical, LogProbGradMatchesNumerical)
+{
+    const Vector logits{0.3, -0.6, 1.1, 0.0};
+    const std::size_t action = 2;
+    const double eps = 1e-6;
+    Categorical base(logits);
+    const Vector g = base.logProbGradLogits(action);
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        Vector up = logits, down = logits;
+        up[i] += eps;
+        down[i] -= eps;
+        const double num = (Categorical(up).logProb(action) -
+                            Categorical(down).logProb(action)) /
+                           (2 * eps);
+        EXPECT_NEAR(g[i], num, 1e-6);
+    }
+}
+
+TEST(Categorical, EntropyGradMatchesNumerical)
+{
+    const Vector logits{0.5, -0.5, 0.25};
+    const double eps = 1e-6;
+    Categorical base(logits);
+    const Vector g = base.entropyGradLogits();
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        Vector up = logits, down = logits;
+        up[i] += eps;
+        down[i] -= eps;
+        const double num =
+            (Categorical(up).entropy() - Categorical(down).entropy()) /
+            (2 * eps);
+        EXPECT_NEAR(g[i], num, 1e-6);
+    }
+}
+
+}  // namespace
+}  // namespace fleetio::rl

@@ -1,0 +1,108 @@
+/** @file Unit tests for channel allocation helpers. */
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+namespace {
+
+SsdGeometry geo16()
+{
+    return testGeometry();  // 16 channels
+}
+
+TEST(ChannelAllocator, EqualSplitPartitionsAllChannels)
+{
+    const auto split = ChannelAllocator::equalSplit(geo16(), 4);
+    ASSERT_EQ(split.size(), 4u);
+    std::set<ChannelId> seen;
+    for (const auto &chs : split) {
+        EXPECT_EQ(chs.size(), 4u);
+        for (ChannelId ch : chs)
+            EXPECT_TRUE(seen.insert(ch).second) << "duplicate channel";
+    }
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ChannelAllocator, EqualSplitWithRemainder)
+{
+    const auto split = ChannelAllocator::equalSplit(geo16(), 3);
+    EXPECT_EQ(split[0].size(), 6u);
+    EXPECT_EQ(split[1].size(), 5u);
+    EXPECT_EQ(split[2].size(), 5u);
+}
+
+TEST(ChannelAllocator, SharedAllGivesEveryChannelToEveryone)
+{
+    const auto shared = ChannelAllocator::sharedAll(geo16(), 3);
+    ASSERT_EQ(shared.size(), 3u);
+    for (const auto &chs : shared) {
+        EXPECT_EQ(chs.size(), 16u);
+        EXPECT_EQ(chs.front(), 0u);
+        EXPECT_EQ(chs.back(), 15u);
+    }
+}
+
+TEST(ChannelAllocator, ProportionalSplitFollowsWeights)
+{
+    const auto split = ChannelAllocator::proportionalSplit(
+        geo16(), {3.0, 1.0}, 1);
+    ASSERT_EQ(split.size(), 2u);
+    // Largest-remainder apportionment of the 14 channels beyond the
+    // minimum: 3:1 yields an 11-12 / 5-4 split.
+    EXPECT_GE(split[0].size(), 11u);
+    EXPECT_LE(split[1].size(), 5u);
+    // Complete and disjoint.
+    std::set<ChannelId> seen;
+    for (const auto &chs : split)
+        for (ChannelId ch : chs)
+            EXPECT_TRUE(seen.insert(ch).second);
+    EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(ChannelAllocator, ProportionalSplitRespectsMinimum)
+{
+    const auto split = ChannelAllocator::proportionalSplit(
+        geo16(), {100.0, 0.0}, 2);
+    EXPECT_GE(split[1].size(), 2u);
+    EXPECT_EQ(split[0].size() + split[1].size(), 16u);
+}
+
+TEST(ChannelAllocator, ProportionalSplitZeroWeightsFallsBackToEven)
+{
+    const auto split = ChannelAllocator::proportionalSplit(
+        geo16(), {0.0, 0.0, 0.0, 0.0}, 1);
+    for (const auto &chs : split)
+        EXPECT_EQ(chs.size(), 4u);
+}
+
+TEST(ChannelAllocator, QuotaHelpers)
+{
+    const auto geo = geo16();
+    EXPECT_EQ(ChannelAllocator::equalQuota(geo, 4),
+              geo.totalBlocks() / 4);
+    EXPECT_EQ(ChannelAllocator::quotaForChannels(geo, 3),
+              geo.blocksPerChannel() * 3);
+}
+
+class SplitSweep : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(SplitSweep, EqualSplitAlwaysCoversDevice)
+{
+    const auto split = ChannelAllocator::equalSplit(geo16(), GetParam());
+    std::size_t total = 0;
+    for (const auto &chs : split)
+        total += chs.size();
+    EXPECT_EQ(total, 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TenantCounts, SplitSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace
+}  // namespace fleetio

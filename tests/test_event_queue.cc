@@ -1,0 +1,105 @@
+/** @file Unit tests for the discrete-event queue. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace fleetio {
+namespace {
+
+TEST(EventQueue, StartsAtTimeZeroAndEmpty)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.pending(), 0u);
+    EXPECT_EQ(eq.nextEventTime(), kTimeNever);
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(usec(30), [&] { order.push_back(3); });
+    eq.scheduleAt(usec(10), [&] { order.push_back(1); });
+    eq.scheduleAt(usec(20), [&] { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), usec(30));
+}
+
+TEST(EventQueue, FifoWithinSameTimestamp)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        eq.scheduleAt(usec(5), [&order, i] { order.push_back(i); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, SchedulingInThePastClampsToNow)
+{
+    EventQueue eq;
+    eq.scheduleAt(usec(100), [] {});
+    eq.runAll();
+    ASSERT_EQ(eq.now(), usec(100));
+    bool fired = false;
+    eq.scheduleAt(usec(50), [&] { fired = true; });
+    EXPECT_EQ(eq.nextEventTime(), usec(100));
+    eq.runAll();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(eq.now(), usec(100));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizonAndAdvancesClock)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.scheduleAt(usec(10), [&] { ++fired; });
+    eq.scheduleAt(usec(20), [&] { ++fired; });
+    eq.scheduleAt(usec(30), [&] { ++fired; });
+    const auto n = eq.runUntil(usec(20));
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.now(), usec(20));
+    EXPECT_EQ(eq.pending(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockEvenWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(msec(5));
+    EXPECT_EQ(eq.now(), msec(5));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> chain = [&]() {
+        if (++count < 10)
+            eq.scheduleAfter(usec(1), chain);
+    };
+    eq.scheduleAfter(usec(1), chain);
+    eq.runAll();
+    EXPECT_EQ(count, 10);
+    EXPECT_EQ(eq.now(), usec(10));
+    EXPECT_EQ(eq.dispatched(), 10u);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelativeToNow)
+{
+    EventQueue eq;
+    SimTime observed = 0;
+    eq.scheduleAt(msec(1), [&] {
+        eq.scheduleAfter(usec(500), [&] { observed = eq.now(); });
+    });
+    eq.runAll();
+    EXPECT_EQ(observed, msec(1) + usec(500));
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,115 @@
+/** @file Unit tests for I/O feature extraction. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/cluster/features.h"
+
+namespace fleetio {
+namespace {
+
+constexpr std::uint32_t kPage = 16 * 1024;
+constexpr std::uint64_t kSpace = 1 << 20;  // logical pages
+
+std::vector<TraceRecord>
+makeTrace(std::size_t n, IoType type, std::uint32_t npages,
+          std::function<Lpa(std::size_t)> addr, SimTime gap = usec(100))
+{
+    std::vector<TraceRecord> t;
+    for (std::size_t i = 0; i < n; ++i)
+        t.push_back({SimTime(i) * gap, type, addr(i), npages});
+    return t;
+}
+
+TEST(Features, BandwidthSplitByDirection)
+{
+    auto trace = makeTrace(1000, IoType::kRead, 1,
+                           [](std::size_t i) { return Lpa(i); });
+    for (std::size_t i = 0; i < 500; ++i)
+        trace[i].type = IoType::kWrite;
+    const auto f = extractFeatures(trace.data(),
+                                   trace.data() + trace.size(), kPage,
+                                   kSpace);
+    EXPECT_GT(f.read_bw_mbps, 0.0);
+    EXPECT_GT(f.write_bw_mbps, 0.0);
+    EXPECT_NEAR(f.read_bw_mbps, f.write_bw_mbps,
+                f.read_bw_mbps * 0.01);
+    EXPECT_DOUBLE_EQ(f.avg_io_kb, 16.0);
+}
+
+TEST(Features, AvgIoSizeWeightsPages)
+{
+    auto trace = makeTrace(100, IoType::kRead, 4,
+                           [](std::size_t i) { return Lpa(i); });
+    const auto f = extractFeatures(trace.data(), trace.data() + 100,
+                                   kPage, kSpace);
+    EXPECT_DOUBLE_EQ(f.avg_io_kb, 64.0);
+}
+
+TEST(Features, SequentialTraceHasLowEntropy)
+{
+    // All accesses inside one small region -> ~0 bits.
+    auto seq = makeTrace(1000, IoType::kRead, 1,
+                         [](std::size_t i) { return Lpa(i % 64); });
+    const auto f = extractFeatures(seq.data(), seq.data() + 1000, kPage,
+                                   kSpace);
+    EXPECT_LT(f.lpa_entropy, 0.1);
+}
+
+TEST(Features, UniformRandomTraceHasHighEntropy)
+{
+    Rng rng(1);
+    auto rnd = makeTrace(10000, IoType::kRead, 1, [&](std::size_t) {
+        return Lpa(rng.uniformInt(kSpace));
+    });
+    const auto f = extractFeatures(rnd.data(), rnd.data() + 10000,
+                                   kPage, kSpace);
+    // 256 buckets -> max entropy 8 bits.
+    EXPECT_GT(f.lpa_entropy, 7.5);
+    EXPECT_LE(f.lpa_entropy, 8.0 + 1e-9);
+}
+
+TEST(Features, SkewedTraceSitsBetween)
+{
+    Rng rng(2);
+    auto zipf = makeTrace(10000, IoType::kRead, 1, [&](std::size_t) {
+        return Lpa(rng.zipf(kSpace, 1.2));
+    });
+    const auto f = extractFeatures(zipf.data(), zipf.data() + 10000,
+                                   kPage, kSpace);
+    EXPECT_GT(f.lpa_entropy, 0.2);
+    EXPECT_LT(f.lpa_entropy, 7.0);
+}
+
+TEST(Features, EmptyTraceIsZero)
+{
+    const auto f = extractFeatures(nullptr, nullptr, kPage, kSpace);
+    EXPECT_EQ(f.read_bw_mbps, 0.0);
+    EXPECT_EQ(f.lpa_entropy, 0.0);
+}
+
+TEST(Features, WindowSlicingDropsPartialTail)
+{
+    auto trace = makeTrace(2500, IoType::kRead, 1,
+                           [](std::size_t i) { return Lpa(i); });
+    const auto windows = extractWindows(trace, kPage, kSpace, 1000);
+    EXPECT_EQ(windows.size(), 2u);
+}
+
+TEST(Features, ToVectorHasFourDimensions)
+{
+    IoFeatures f{1, 2, 3, 4};
+    const auto v = f.toVector();
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], 1.0);
+    EXPECT_EQ(v[3], 4.0);
+}
+
+TEST(Features, DefaultWindowMatchesPaper)
+{
+    EXPECT_EQ(kFeatureWindowRequests, 10000u);
+}
+
+}  // namespace
+}  // namespace fleetio

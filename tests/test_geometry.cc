@@ -1,0 +1,112 @@
+/** @file Unit tests for SSD geometry and the PPA codec. */
+#include <gtest/gtest.h>
+
+#include "src/ssd/geometry.h"
+
+namespace fleetio {
+namespace {
+
+TEST(Geometry, DefaultMatchesPaperTable3)
+{
+    const SsdGeometry g = defaultGeometry();
+    EXPECT_EQ(g.num_channels, 16u);
+    EXPECT_EQ(g.chips_per_channel, 4u);
+    EXPECT_EQ(g.page_size, 16u * 1024);
+    EXPECT_EQ(g.max_queue_depth, 16u);
+    EXPECT_DOUBLE_EQ(g.op_ratio, 0.20);
+    // 1 TB total capacity.
+    EXPECT_EQ(g.totalBytes(), 1ull << 40);
+    // 4 MB blocks -> 256 pages per block.
+    EXPECT_EQ(g.blockBytes(), 4ull * 1024 * 1024);
+    EXPECT_EQ(g.pages_per_block, 256u);
+    // Minimum superblock: 16 blocks = 64 MB per channel.
+    EXPECT_EQ(std::uint64_t(g.superblock_blocks_per_channel) *
+                  g.blockBytes(),
+              64ull * 1024 * 1024);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, DerivedCountsAreConsistent)
+{
+    const SsdGeometry g = testGeometry();
+    EXPECT_EQ(g.totalBlocks(),
+              std::uint64_t(g.num_channels) * g.chips_per_channel *
+                  g.blocks_per_chip);
+    EXPECT_EQ(g.totalPages(), g.totalBlocks() * g.pages_per_block);
+    EXPECT_EQ(g.pagesPerChannel(),
+              std::uint64_t(g.chips_per_channel) * g.pagesPerChip());
+}
+
+TEST(Geometry, ChannelBandwidthAndTransferTime)
+{
+    const SsdGeometry g = defaultGeometry();
+    EXPECT_DOUBLE_EQ(g.channelBandwidthMBps(), 64.0);
+    // 16 KB at 64 MB/s = 244.140625 us.
+    EXPECT_NEAR(double(g.pageTransferTime()), 244140.625, 1.0);
+    EXPECT_EQ(g.transferTime(0), 0u);
+}
+
+TEST(Geometry, PpaCodecRoundTrips)
+{
+    const SsdGeometry g = testGeometry();
+    for (ChannelId ch : {0u, 5u, g.num_channels - 1}) {
+        for (ChipId c : {0u, g.chips_per_channel - 1}) {
+            for (BlockId b : {0u, g.blocks_per_chip - 1}) {
+                for (PageId p : {0u, g.pages_per_block - 1}) {
+                    const Ppa ppa = g.makePpa(ch, c, b, p);
+                    EXPECT_EQ(g.channelOf(ppa), ch);
+                    EXPECT_EQ(g.chipOf(ppa), c);
+                    EXPECT_EQ(g.blockOf(ppa), b);
+                    EXPECT_EQ(g.pageOf(ppa), p);
+                }
+            }
+        }
+    }
+}
+
+TEST(Geometry, PpaCodecIsDenseAndUnique)
+{
+    const SsdGeometry g = testGeometry();
+    // The largest PPA must be totalPages - 1.
+    const Ppa last = g.makePpa(g.num_channels - 1,
+                               g.chips_per_channel - 1,
+                               g.blocks_per_chip - 1,
+                               g.pages_per_block - 1);
+    EXPECT_EQ(last, g.totalPages() - 1);
+    EXPECT_EQ(g.makePpa(0, 0, 0, 0), 0u);
+}
+
+TEST(Geometry, ScaledPreservesRatios)
+{
+    const SsdGeometry g = defaultGeometry().scaled(8);
+    EXPECT_EQ(g.blocks_per_chip, 8u);
+    EXPECT_EQ(g.num_channels, 16u);
+    EXPECT_LE(g.superblock_blocks_per_channel, g.blocksPerChannel());
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Geometry, InvalidConfigurationsDetected)
+{
+    SsdGeometry g = testGeometry();
+    g.num_channels = 0;
+    EXPECT_FALSE(g.valid());
+
+    g = testGeometry();
+    g.op_ratio = 1.5;
+    EXPECT_FALSE(g.valid());
+
+    g = testGeometry();
+    g.superblock_blocks_per_channel =
+        std::uint32_t(g.blocksPerChannel()) + 1;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(Geometry, PresetsAreValid)
+{
+    EXPECT_TRUE(defaultGeometry().valid());
+    EXPECT_TRUE(testGeometry().valid());
+    EXPECT_TRUE(benchGeometry().valid());
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,123 @@
+/** @file Unit tests for the ghost superblock (Fig. 7 metadata). */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/harvest/gsb.h"
+
+namespace fleetio {
+namespace {
+
+class GsbTest : public ::testing::Test
+{
+  protected:
+    GsbTest() : geo_(testGeometry()), dev_(geo_, eq_) {}
+
+    Gsb makeGsb(std::uint32_t n_chls, VssdId home = 1)
+    {
+        Superblock sb(dev_);
+        for (std::uint32_t i = 0; i < n_chls; ++i) {
+            EXPECT_TRUE(sb.addStripe(i, 2, home));
+        }
+        return Gsb(42, std::move(sb), home);
+    }
+
+    SsdGeometry geo_;
+    EventQueue eq_;
+    FlashDevice dev_;
+};
+
+TEST_F(GsbTest, MetadataMatchesFig7)
+{
+    Gsb g = makeGsb(2);
+    EXPECT_EQ(g.id(), 42u);
+    EXPECT_EQ(g.numChannels(), 2u);  // n_chls
+    EXPECT_EQ(g.capacityBytes(),
+              std::uint64_t(4) * geo_.blockBytes());  // capacity
+    EXPECT_FALSE(g.inUse());                          // in_use
+    EXPECT_EQ(g.homeVssd(), 1u);                      // home_vssd
+    EXPECT_EQ(g.harvestVssd(), kNoVssd);              // harvest_vssd
+}
+
+TEST_F(GsbTest, HarvestLifecycle)
+{
+    Gsb g = makeGsb(1);
+    g.markHarvested(3);
+    EXPECT_TRUE(g.inUse());
+    EXPECT_EQ(g.harvestVssd(), 3u);
+    g.release();
+    EXPECT_FALSE(g.inUse());
+    EXPECT_EQ(g.harvestVssd(), kNoVssd);
+}
+
+TEST_F(GsbTest, UnharvestedGsbRefusesWrites)
+{
+    Gsb g = makeGsb(1);
+    Ppa ppa;
+    EXPECT_FALSE(g.allocatePage(ppa));
+    EXPECT_TRUE(g.exhausted());  // not usable while unharvested
+}
+
+TEST_F(GsbTest, HarvestedGsbServesPagesUntilSpent)
+{
+    Gsb g = makeGsb(1);
+    g.markHarvested(2);
+    EXPECT_FALSE(g.exhausted());
+    EXPECT_FALSE(g.spent());
+    Ppa ppa;
+    const std::uint64_t cap =
+        std::uint64_t(2) * geo_.pages_per_block;
+    for (std::uint64_t i = 0; i < cap; ++i)
+        ASSERT_TRUE(g.allocatePage(ppa));
+    EXPECT_TRUE(g.spent());
+    EXPECT_TRUE(g.exhausted());
+    EXPECT_FALSE(g.allocatePage(ppa));
+}
+
+TEST_F(GsbTest, ValidPagesTracksLiveData)
+{
+    Gsb g = makeGsb(1);
+    g.markHarvested(2);
+    EXPECT_EQ(g.validPages(dev_), 0u);
+    Ppa ppa;
+    ASSERT_TRUE(g.allocatePage(ppa));
+    EXPECT_EQ(g.validPages(dev_), 1u);
+    dev_.invalidatePage(ppa);
+    EXPECT_EQ(g.validPages(dev_), 0u);
+}
+
+TEST_F(GsbTest, DetachBlockShrinksLiveSet)
+{
+    Gsb g = makeGsb(2);
+    const auto first = g.superblock().stripes()[0].blocks[0];
+    EXPECT_EQ(g.liveBlocks(), 4u);
+    EXPECT_TRUE(g.detachBlock(0, first.first, first.second));
+    EXPECT_EQ(g.liveBlocks(), 3u);
+    // Detaching a block it never owned fails.
+    EXPECT_FALSE(g.detachBlock(9, 0, 0));
+    EXPECT_FALSE(g.detachBlock(0, first.first, first.second));
+}
+
+TEST_F(GsbTest, ReclaimingFlagSticks)
+{
+    Gsb g = makeGsb(1);
+    EXPECT_FALSE(g.reclaiming());
+    g.setReclaiming();
+    EXPECT_TRUE(g.reclaiming());
+}
+
+TEST_F(GsbTest, PagesSpreadAcrossAllStripedChannels)
+{
+    Gsb g = makeGsb(3);
+    g.markHarvested(2);
+    std::set<ChannelId> seen;
+    Ppa ppa;
+    for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(g.allocatePage(ppa));
+        seen.insert(geo_.channelOf(ppa));
+    }
+    EXPECT_EQ(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fleetio

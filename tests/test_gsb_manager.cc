@@ -1,0 +1,182 @@
+/** @file Integration-grade tests for the gSB manager lifecycle. */
+#include <gtest/gtest.h>
+
+#include "src/harvest/gsb_manager.h"
+
+namespace fleetio {
+namespace {
+
+class GsbManagerTest : public ::testing::Test
+{
+  protected:
+    GsbManagerTest()
+        : geo_(testGeometry()), dev_(geo_, eq_), hbt_(geo_),
+          vssds_(dev_, hbt_), gsb_(dev_, vssds_)
+    {
+        vssds_.setOnErased([this](ChannelId ch, ChipId c, BlockId b) {
+            gsb_.onBlockErased(ch, c, b);
+        });
+        // Two tenants: home (0) on channels 0-7, harvester (1) on 8-15.
+        home_ = &makeVssd(0, {0, 1, 2, 3, 4, 5, 6, 7});
+        harv_ = &makeVssd(1, {8, 9, 10, 11, 12, 13, 14, 15});
+    }
+
+    Vssd &makeVssd(VssdId id, std::vector<ChannelId> chs)
+    {
+        Vssd::Config cfg;
+        cfg.id = id;
+        cfg.quota_blocks = geo_.blocksPerChannel() * chs.size();
+        cfg.channels = std::move(chs);
+        return vssds_.create(cfg);
+    }
+
+    double chBw() const { return geo_.channelBandwidthMBps(); }
+
+    SsdGeometry geo_;
+    EventQueue eq_;
+    FlashDevice dev_;
+    HarvestedBlockTable hbt_;
+    VssdManager vssds_;
+    GsbManager gsb_;
+    Vssd *home_ = nullptr;
+    Vssd *harv_ = nullptr;
+};
+
+TEST_F(GsbManagerTest, MakeHarvestableCreatesGsbOfRequestedWidth)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    EXPECT_EQ(gsb_.donatedChannels(0), 2u);
+    EXPECT_EQ(gsb_.liveGsbs(), 1u);
+    EXPECT_EQ(gsb_.createdCount(), 1u);
+    // Donated blocks charged against the home quota and HBT-marked.
+    EXPECT_EQ(home_->ftl().blocksUsed(),
+              std::uint64_t(2) * geo_.superblock_blocks_per_channel);
+    EXPECT_EQ(hbt_.markedCount(),
+              std::uint64_t(2) * geo_.superblock_blocks_per_channel);
+}
+
+TEST_F(GsbManagerTest, BandwidthToChannelsRoundsDown)
+{
+    gsb_.makeHarvestable(0, chBw() * 1.9);  // rounds down to 1
+    EXPECT_EQ(gsb_.donatedChannels(0), 1u);
+    gsb_.makeHarvestable(0, chBw() * 0.5);  // target 0 -> reclaim
+    EXPECT_EQ(gsb_.donatedChannels(0), 0u);
+}
+
+TEST_F(GsbManagerTest, TargetSemanticsAreIdempotent)
+{
+    gsb_.makeHarvestable(0, chBw() * 3);
+    gsb_.makeHarvestable(0, chBw() * 3);
+    gsb_.makeHarvestable(0, chBw() * 3);
+    EXPECT_EQ(gsb_.donatedChannels(0), 3u);
+    EXPECT_EQ(gsb_.liveGsbs(), 1u);
+}
+
+TEST_F(GsbManagerTest, ReducingTargetDestroysUnharvestedImmediately)
+{
+    gsb_.makeHarvestable(0, chBw() * 4);
+    const std::uint64_t used = home_->ftl().blocksUsed();
+    gsb_.makeHarvestable(0, 0.0);
+    EXPECT_EQ(gsb_.donatedChannels(0), 0u);
+    EXPECT_EQ(gsb_.liveGsbs(), 0u);
+    EXPECT_LT(home_->ftl().blocksUsed(), used);  // blocks returned
+    EXPECT_EQ(hbt_.markedCount(), 0u);
+}
+
+TEST_F(GsbManagerTest, HarvestAttachesGsbToHarvesterFtl)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    const auto held = gsb_.harvest(1, chBw() * 2);
+    EXPECT_EQ(held, 2u);
+    EXPECT_EQ(gsb_.heldChannels(1), 2u);
+    EXPECT_EQ(gsb_.harvestedCount(), 1u);
+    EXPECT_EQ(harv_->ftl().numExternalSources(), 1u);
+    // Supply is consumed: the pool no longer advertises it.
+    EXPECT_EQ(gsb_.donatedChannels(0), 0u);
+}
+
+TEST_F(GsbManagerTest, HarvesterWritesLandOnHomeChannels)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    gsb_.harvest(1, chBw() * 2);
+    bool hit_home_channel = false;
+    Ppa ppa;
+    for (Lpa lpa = 0; lpa < 200; ++lpa) {
+        ASSERT_TRUE(harv_->ftl().allocateWrite(lpa, ppa));
+        if (geo_.channelOf(ppa) <= 7)
+            hit_home_channel = true;
+    }
+    EXPECT_TRUE(hit_home_channel);
+}
+
+TEST_F(GsbManagerTest, CannotHarvestOwnDonation)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    EXPECT_EQ(gsb_.harvest(0, chBw() * 2), 0u);
+    EXPECT_EQ(gsb_.heldChannels(0), 0u);
+}
+
+TEST_F(GsbManagerTest, HarvestWithEmptyPoolHoldsNothing)
+{
+    EXPECT_EQ(gsb_.harvest(1, chBw() * 4), 0u);
+}
+
+TEST_F(GsbManagerTest, CreationRespectsChannelFreeBlockFloor)
+{
+    // Exhaust free blocks on all home channels below 25 %.
+    for (ChannelId ch = 0; ch < 8; ++ch) {
+        while (dev_.freeRatio(ch) >= 0.25) {
+            ChipId c;
+            BlockId b;
+            ASSERT_TRUE(dev_.allocateBlock(ch, 0, c, b));
+        }
+    }
+    gsb_.makeHarvestable(0, chBw() * 2);
+    EXPECT_EQ(gsb_.donatedChannels(0), 0u);
+    EXPECT_EQ(gsb_.createdCount(), 0u);
+}
+
+TEST_F(GsbManagerTest, LazyReclaimDrainsThroughHomeGc)
+{
+    gsb_.makeHarvestable(0, chBw() * 1);
+    ASSERT_EQ(gsb_.harvest(1, chBw() * 1), 1u);
+
+    // Harvester fills the gSB completely (it becomes spent).
+    Ppa ppa;
+    Lpa lpa = 0;
+    const std::uint64_t gsb_pages =
+        std::uint64_t(geo_.superblock_blocks_per_channel) *
+        geo_.pages_per_block;
+    // Writes stripe mostly over the harvester's own 8 channels; issue
+    // enough that the 1-channel gSB's share certainly fills it.
+    for (std::uint64_t i = 0; i < gsb_pages * 20; ++i)
+        ASSERT_TRUE(harv_->ftl().allocateWrite(lpa++, ppa));
+    EXPECT_EQ(gsb_.heldChannels(1), 0u);  // spent -> no longer counted
+
+    // Home reduces its harvestable target below the lent amount; the
+    // spent gSB reclaims lazily via GC copyback.
+    gsb_.makeHarvestable(0, 0.0);
+    eq_.runUntil(sec(30));
+    EXPECT_EQ(gsb_.liveGsbs(), 0u);
+    EXPECT_EQ(hbt_.markedCount(), 0u);
+    EXPECT_EQ(harv_->ftl().numExternalSources(), 0u);
+    // Every harvested page is still readable from its new location.
+    for (Lpa probe = 0; probe < 100; ++probe) {
+        const Ppa now = harv_->ftl().lookup(probe);
+        ASSERT_NE(now, kNoPpa);
+        EXPECT_EQ(dev_.rmap(now).lpa, probe);
+        EXPECT_EQ(dev_.rmap(now).data_vssd, 1u);
+    }
+}
+
+TEST_F(GsbManagerTest, HarvestOnlyRampsUpNeverReleases)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    gsb_.harvest(1, chBw() * 2);
+    // A smaller target does not shed the in-use holding.
+    EXPECT_EQ(gsb_.harvest(1, 0.0), 2u);
+    EXPECT_EQ(gsb_.heldChannels(1), 2u);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,92 @@
+/** @file Unit tests for k-means clustering. */
+#include <gtest/gtest.h>
+
+#include "src/cluster/kmeans.h"
+
+namespace fleetio {
+namespace {
+
+using rl::Vector;
+
+std::vector<Vector>
+threeBlobs(Rng &rng, int per_blob)
+{
+    std::vector<Vector> data;
+    const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < per_blob; ++i) {
+            data.push_back({centers[c][0] + rng.normal() * 0.5,
+                            centers[c][1] + rng.normal() * 0.5});
+        }
+    }
+    return data;
+}
+
+TEST(KMeans, Dist2)
+{
+    EXPECT_DOUBLE_EQ(KMeans::dist2({0, 0}, {3, 4}), 25.0);
+    EXPECT_DOUBLE_EQ(KMeans::dist2({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(KMeans, SeparatesWellSeparatedBlobs)
+{
+    Rng rng(3);
+    const auto data = threeBlobs(rng, 50);
+    const auto res = KMeans::fit(data, 3, rng);
+    ASSERT_EQ(res.centroids.size(), 3u);
+    // Every blob is internally consistent: all 50 members share a
+    // label distinct from the other blobs' labels.
+    for (int blob = 0; blob < 3; ++blob) {
+        const int label = res.labels[std::size_t(blob) * 50];
+        for (int i = 1; i < 50; ++i)
+            EXPECT_EQ(res.labels[std::size_t(blob) * 50 + i], label);
+    }
+    EXPECT_NE(res.labels[0], res.labels[50]);
+    EXPECT_NE(res.labels[50], res.labels[100]);
+    // Tight blobs -> small inertia.
+    EXPECT_LT(res.inertia / double(data.size()), 1.0);
+}
+
+TEST(KMeans, PredictMapsToNearestCentroid)
+{
+    std::vector<Vector> centroids{{0, 0}, {10, 10}};
+    EXPECT_EQ(KMeans::predict(centroids, {1, 1}), 0);
+    EXPECT_EQ(KMeans::predict(centroids, {9, 9}), 1);
+}
+
+TEST(KMeans, KLargerThanDataClamps)
+{
+    Rng rng(4);
+    std::vector<Vector> data{{0, 0}, {1, 1}};
+    const auto res = KMeans::fit(data, 5, rng);
+    EXPECT_LE(res.centroids.size(), 2u);
+}
+
+TEST(KMeans, SingleClusterCentroidIsMean)
+{
+    Rng rng(5);
+    std::vector<Vector> data{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+    const auto res = KMeans::fit(data, 1, rng);
+    ASSERT_EQ(res.centroids.size(), 1u);
+    EXPECT_NEAR(res.centroids[0][0], 1.0, 1e-9);
+    EXPECT_NEAR(res.centroids[0][1], 1.0, 1e-9);
+}
+
+TEST(KMeans, ConvergesWithinIterationBudget)
+{
+    Rng rng(6);
+    const auto data = threeBlobs(rng, 30);
+    const auto res = KMeans::fit(data, 3, rng, 100);
+    EXPECT_LT(res.iterations, 100);
+}
+
+TEST(KMeans, IdenticalPointsYieldZeroInertia)
+{
+    Rng rng(7);
+    std::vector<Vector> data(10, Vector{5.0, 5.0});
+    const auto res = KMeans::fit(data, 2, rng);
+    EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+}  // namespace
+}  // namespace fleetio

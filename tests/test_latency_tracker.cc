@@ -1,0 +1,107 @@
+/** @file Unit tests for windowed latency / SLO tracking. */
+#include <gtest/gtest.h>
+
+#include "src/stats/latency_tracker.h"
+
+namespace fleetio {
+namespace {
+
+TEST(LatencyTracker, WindowMeanAndQuantile)
+{
+    LatencyTracker t;
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        t.record(usec(v));
+    EXPECT_EQ(t.windowCount(), 100u);
+    EXPECT_NEAR(t.windowMeanNs(), double(usec(50)) + 500, 1000);
+    EXPECT_EQ(t.windowQuantile(0.5), usec(50));
+    EXPECT_EQ(t.windowQuantile(0.99), usec(99));
+    EXPECT_EQ(t.windowQuantile(1.0), usec(100));
+}
+
+TEST(LatencyTracker, SloViolationsCountedPerWindow)
+{
+    LatencyTracker t(usec(10));
+    for (int i = 0; i < 90; ++i)
+        t.record(usec(5));
+    for (int i = 0; i < 10; ++i)
+        t.record(usec(20));
+    EXPECT_DOUBLE_EQ(t.windowSloViolation(), 0.10);
+}
+
+TEST(LatencyTracker, ExactlyAtSloIsNotAViolation)
+{
+    LatencyTracker t(usec(10));
+    t.record(usec(10));
+    EXPECT_DOUBLE_EQ(t.windowSloViolation(), 0.0);
+    t.record(usec(10) + 1);
+    EXPECT_DOUBLE_EQ(t.windowSloViolation(), 0.5);
+}
+
+TEST(LatencyTracker, RollWindowFoldsIntoLifetime)
+{
+    LatencyTracker t(usec(10));
+    t.record(usec(5));
+    t.record(usec(15));
+    t.rollWindow();
+    EXPECT_EQ(t.windowCount(), 0u);
+    EXPECT_EQ(t.totalCount(), 2u);
+    EXPECT_DOUBLE_EQ(t.sloViolation(), 0.5);
+    EXPECT_NEAR(t.meanNs(), double(usec(10)), 1.0);
+
+    t.record(usec(7));
+    t.rollWindow();
+    EXPECT_EQ(t.totalCount(), 3u);
+}
+
+TEST(LatencyTracker, LifetimeQuantilesAreExact)
+{
+    LatencyTracker t;
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        t.record(nsec(v));
+    t.rollWindow();
+    EXPECT_EQ(t.quantile(0.5), 500u);
+    EXPECT_EQ(t.quantile(0.99), 990u);
+    EXPECT_EQ(t.quantile(0.999), 999u);
+    EXPECT_EQ(t.quantile(0.0), 1u);
+}
+
+TEST(LatencyTracker, EmptyTrackerIsSafe)
+{
+    LatencyTracker t;
+    EXPECT_EQ(t.windowQuantile(0.99), 0u);
+    EXPECT_EQ(t.quantile(0.99), 0u);
+    EXPECT_EQ(t.windowSloViolation(), 0.0);
+    EXPECT_EQ(t.sloViolation(), 0.0);
+    t.rollWindow();  // no crash
+}
+
+TEST(LatencyTracker, ResetClearsEverything)
+{
+    LatencyTracker t(usec(1));
+    t.record(usec(5));
+    t.rollWindow();
+    t.record(usec(5));
+    t.reset();
+    EXPECT_EQ(t.windowCount(), 0u);
+    EXPECT_EQ(t.totalCount(), 0u);
+    EXPECT_EQ(t.sloViolation(), 0.0);
+}
+
+TEST(LatencyTracker, SloChangeAffectsFutureRecordsOnly)
+{
+    LatencyTracker t(usec(10));
+    t.record(usec(20));  // violation under old SLO
+    t.setSlo(usec(100));
+    t.record(usec(20));  // fine under new SLO
+    EXPECT_DOUBLE_EQ(t.windowSloViolation(), 0.5);
+}
+
+TEST(LatencyTracker, DefaultSloNeverViolates)
+{
+    LatencyTracker t;
+    t.record(sec(100));
+    EXPECT_DOUBLE_EQ(t.windowSloViolation(), 0.0);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,105 @@
+/** @file Unit tests for the RL linear-algebra helpers. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "src/rl/matrix.h"
+
+namespace fleetio::rl {
+namespace {
+
+TEST(ParameterStore, AllocateReturnsDisjointSegments)
+{
+    ParameterStore ps;
+    const auto a = ps.allocate(10);
+    const auto b = ps.allocate(5);
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 10u);
+    EXPECT_EQ(ps.size(), 15u);
+    ps.values(a)[9] = 1.5;
+    ps.values(b)[0] = 2.5;
+    EXPECT_DOUBLE_EQ(ps.rawValues()[9], 1.5);
+    EXPECT_DOUBLE_EQ(ps.rawValues()[10], 2.5);
+}
+
+TEST(ParameterStore, ZeroGradsClearsOnlyGrads)
+{
+    ParameterStore ps;
+    ps.allocate(4);
+    ps.values(0)[0] = 3.0;
+    ps.grads(0)[0] = 9.0;
+    ps.zeroGrads();
+    EXPECT_DOUBLE_EQ(ps.values(0)[0], 3.0);
+    EXPECT_DOUBLE_EQ(ps.grads(0)[0], 0.0);
+}
+
+TEST(ParameterStore, SaveLoadRoundTrip)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_test.txt";
+    ParameterStore ps;
+    ps.allocate(6);
+    for (std::size_t i = 0; i < 6; ++i)
+        ps.rawValues()[i] = double(i) * 0.125 - 0.3;
+    ASSERT_TRUE(ps.saveToFile(path.string()));
+
+    ParameterStore ps2;
+    ps2.allocate(6);
+    ASSERT_TRUE(ps2.loadFromFile(path.string()));
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_DOUBLE_EQ(ps2.rawValues()[i], ps.rawValues()[i]);
+    std::filesystem::remove(path);
+}
+
+TEST(ParameterStore, LoadRejectsSizeMismatch)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_mismatch.txt";
+    ParameterStore ps;
+    ps.allocate(4);
+    ASSERT_TRUE(ps.saveToFile(path.string()));
+    ParameterStore ps2;
+    ps2.allocate(5);
+    EXPECT_FALSE(ps2.loadFromFile(path.string()));
+    std::filesystem::remove(path);
+}
+
+TEST(VectorOps, AxpyAndDot)
+{
+    Vector x{1, 2, 3};
+    Vector y{10, 20, 30};
+    axpy(2.0, x, y);
+    EXPECT_EQ(y, (Vector{12, 24, 36}));
+    EXPECT_DOUBLE_EQ(dot(x, x), 14.0);
+}
+
+TEST(Softmax, SumsToOneAndOrdersCorrectly)
+{
+    const Vector p = softmax({1.0, 2.0, 3.0});
+    EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+    EXPECT_LT(p[0], p[1]);
+    EXPECT_LT(p[1], p[2]);
+}
+
+TEST(Softmax, StableForHugeLogits)
+{
+    const Vector p = softmax({1000.0, 1000.0, -1000.0});
+    EXPECT_NEAR(p[0], 0.5, 1e-9);
+    EXPECT_NEAR(p[1], 0.5, 1e-9);
+    EXPECT_NEAR(p[2], 0.0, 1e-9);
+    EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(LogSoftmax, MatchesLogOfSoftmax)
+{
+    const Vector logits{0.5, -1.0, 2.0};
+    const Vector p = softmax(logits);
+    const Vector lp = logSoftmax(logits);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(lp[i], std::log(p[i]), 1e-12);
+}
+
+}  // namespace
+}  // namespace fleetio::rl

@@ -1,0 +1,98 @@
+/** @file Unit tests for 2-component PCA. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/cluster/pca.h"
+
+namespace fleetio {
+namespace {
+
+using rl::Vector;
+
+TEST(Pca, RecoversDominantDirection)
+{
+    // Points along the (1, 1, 0) direction with small noise.
+    Rng rng(8);
+    std::vector<Vector> data;
+    for (int i = 0; i < 300; ++i) {
+        const double t = rng.normal() * 5.0;
+        data.push_back({t + rng.normal() * 0.1,
+                        t + rng.normal() * 0.1,
+                        rng.normal() * 0.1});
+    }
+    Pca pca;
+    pca.fit(data, rng);
+    const auto &pc1 = pca.component(0);
+    // PC1 ~ (1,1,0)/sqrt(2) up to sign.
+    const double a = std::abs(pc1[0]);
+    const double b = std::abs(pc1[1]);
+    EXPECT_NEAR(a, 1.0 / std::sqrt(2.0), 0.05);
+    EXPECT_NEAR(b, 1.0 / std::sqrt(2.0), 0.05);
+    EXPECT_NEAR(std::abs(pc1[2]), 0.0, 0.05);
+    EXPECT_GT(pca.explainedVariance(0),
+              10 * pca.explainedVariance(1));
+}
+
+TEST(Pca, ComponentsAreOrthonormal)
+{
+    Rng rng(9);
+    std::vector<Vector> data;
+    for (int i = 0; i < 200; ++i) {
+        data.push_back({rng.normal() * 3, rng.normal() * 2,
+                        rng.normal(), rng.normal() * 0.5});
+    }
+    Pca pca;
+    pca.fit(data, rng);
+    const auto &p1 = pca.component(0);
+    const auto &p2 = pca.component(1);
+    EXPECT_NEAR(rl::dot(p1, p1), 1.0, 1e-6);
+    EXPECT_NEAR(rl::dot(p2, p2), 1.0, 1e-6);
+    EXPECT_NEAR(rl::dot(p1, p2), 0.0, 1e-6);
+}
+
+TEST(Pca, ProjectionCentersData)
+{
+    Rng rng(10);
+    std::vector<Vector> data;
+    for (int i = 0; i < 100; ++i)
+        data.push_back({100.0 + rng.normal(), -50.0 + rng.normal()});
+    Pca pca;
+    pca.fit(data, rng);
+    // The mean projects to ~(0, 0).
+    const auto [x, y] = pca.project(pca.mean());
+    EXPECT_NEAR(x, 0.0, 1e-9);
+    EXPECT_NEAR(y, 0.0, 1e-9);
+    // Projections average to zero.
+    double sx = 0, sy = 0;
+    for (const auto &row : data) {
+        const auto [px, py] = pca.project(row);
+        sx += px;
+        sy += py;
+    }
+    EXPECT_NEAR(sx / 100, 0.0, 1e-9);
+    EXPECT_NEAR(sy / 100, 0.0, 1e-9);
+}
+
+TEST(Pca, SeparatesClustersInProjection)
+{
+    Rng rng(11);
+    std::vector<Vector> data;
+    for (int i = 0; i < 100; ++i)
+        data.push_back({rng.normal() * 0.3, rng.normal() * 0.3, 0.0,
+                        0.0});
+    for (int i = 0; i < 100; ++i)
+        data.push_back({8 + rng.normal() * 0.3,
+                        8 + rng.normal() * 0.3, 0.0, 0.0});
+    Pca pca;
+    pca.fit(data, rng);
+    double mean_a = 0, mean_b = 0;
+    for (int i = 0; i < 100; ++i)
+        mean_a += pca.project(data[std::size_t(i)]).first;
+    for (int i = 100; i < 200; ++i)
+        mean_b += pca.project(data[std::size_t(i)]).first;
+    EXPECT_GT(std::abs(mean_a - mean_b) / 100, 5.0);
+}
+
+}  // namespace
+}  // namespace fleetio

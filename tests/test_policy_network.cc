@@ -1,0 +1,139 @@
+/** @file Unit tests for the actor-critic network. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/rl/policy_network.h"
+
+namespace fleetio::rl {
+namespace {
+
+ActionSpec spec553()
+{
+    return ActionSpec{{5, 5, 3}};
+}
+
+TEST(PolicyNetwork, ShapesAndParamCount)
+{
+    PolicyNetwork net(33, spec553(), {50, 50}, 1);
+    EXPECT_EQ(net.stateDim(), 33u);
+    // 33*50+50 + 50*50+50 + 50*5+5 (x2) + 50*3+3 + 50*1+1.
+    const std::size_t expect = 33 * 50 + 50 + 50 * 50 + 50 +
+                               2 * (50 * 5 + 5) + 50 * 3 + 3 + 50 + 1;
+    EXPECT_EQ(net.numParams(), expect);
+    // Paper quotes ~9K parameters for its model; ours is the same
+    // order of magnitude.
+    EXPECT_GT(net.numParams(), 4000u);
+    EXPECT_LT(net.numParams(), 20000u);
+}
+
+TEST(PolicyNetwork, ActReturnsValidActions)
+{
+    PolicyNetwork net(10, spec553(), {16}, 2);
+    Rng rng(3);
+    Vector s(10, 0.1);
+    const auto res = net.act(s, rng);
+    ASSERT_EQ(res.actions.size(), 3u);
+    EXPECT_LT(res.actions[0], 5u);
+    EXPECT_LT(res.actions[1], 5u);
+    EXPECT_LT(res.actions[2], 3u);
+    EXPECT_LE(res.log_prob, 0.0);
+}
+
+TEST(PolicyNetwork, DeterministicActIsStable)
+{
+    PolicyNetwork net(6, spec553(), {16}, 4);
+    Rng rng(5);
+    Vector s(6, -0.2);
+    const auto a1 = net.act(s, rng, true);
+    const auto a2 = net.act(s, rng, true);
+    EXPECT_EQ(a1.actions, a2.actions);
+}
+
+TEST(PolicyNetwork, EvaluateMatchesActLogProb)
+{
+    PolicyNetwork net(6, spec553(), {16}, 6);
+    Rng rng(7);
+    Vector s(6, 0.5);
+    const auto res = net.act(s, rng);
+    const auto ev = net.evaluate(s, res.actions);
+    EXPECT_NEAR(ev.log_prob, res.log_prob, 1e-12);
+    EXPECT_NEAR(ev.value, res.value, 1e-12);
+    EXPECT_GT(ev.entropy, 0.0);
+}
+
+TEST(PolicyNetwork, InitialPolicyIsNearUniform)
+{
+    PolicyNetwork net(8, spec553(), {50, 50}, 8);
+    Vector s(8, 0.3);
+    const auto ev = net.evaluate(s, {0, 0, 0});
+    // Max entropy = ln5 + ln5 + ln3.
+    const double max_h = std::log(5.0) * 2 + std::log(3.0);
+    EXPECT_GT(ev.entropy, 0.9 * max_h);
+}
+
+TEST(PolicyNetwork, BackwardImprovesChosenActionLikelihood)
+{
+    PolicyNetwork net(4, spec553(), {16}, 10);
+    Vector s{0.1, -0.2, 0.3, -0.4};
+    const std::vector<std::size_t> target{4, 2, 1};
+    const double before = net.evaluate(s, target).log_prob;
+    // Gradient ascent on logP: loss gradient dlogp = -1.
+    for (int i = 0; i < 50; ++i) {
+        net.params().zeroGrads();
+        net.evaluate(s, target);
+        net.backward(target, -1.0, 0.0, 0.0);
+        // Plain SGD step.
+        for (std::size_t k = 0; k < net.params().size(); ++k) {
+            net.params().rawValues()[k] -=
+                0.05 * net.params().rawGrads()[k];
+        }
+    }
+    const double after = net.evaluate(s, target).log_prob;
+    EXPECT_GT(after, before + 0.5);
+}
+
+TEST(PolicyNetwork, ValueGradientRegresses)
+{
+    PolicyNetwork net(4, spec553(), {16}, 12);
+    Vector s{0.5, 0.5, -0.5, -0.5};
+    const double target = 3.0;
+    for (int i = 0; i < 300; ++i) {
+        const auto ev = net.evaluate(s, {0, 0, 0});
+        net.params().zeroGrads();
+        net.backward({0, 0, 0}, 0.0, 0.0, ev.value - target);
+        for (std::size_t k = 0; k < net.params().size(); ++k) {
+            net.params().rawValues()[k] -=
+                0.01 * net.params().rawGrads()[k];
+        }
+    }
+    EXPECT_NEAR(net.evaluate(s, {0, 0, 0}).value, target, 0.3);
+}
+
+TEST(PolicyNetwork, SaveLoadRoundTrip)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_policy_test.txt";
+    PolicyNetwork a(6, spec553(), {16}, 14);
+    PolicyNetwork b(6, spec553(), {16}, 15);
+    ASSERT_TRUE(a.save(path.string()));
+    ASSERT_TRUE(b.load(path.string()));
+    Vector s(6, 0.2);
+    EXPECT_NEAR(a.evaluate(s, {1, 1, 1}).log_prob,
+                b.evaluate(s, {1, 1, 1}).log_prob, 1e-12);
+    std::filesystem::remove(path);
+}
+
+TEST(PolicyNetwork, CopyParamsFromMirrorsBehaviour)
+{
+    PolicyNetwork a(6, spec553(), {16}, 16);
+    PolicyNetwork b(6, spec553(), {16}, 17);
+    b.copyParamsFrom(a);
+    Vector s(6, -0.7);
+    EXPECT_NEAR(a.evaluate(s, {2, 3, 1}).value,
+                b.evaluate(s, {2, 3, 1}).value, 1e-12);
+}
+
+}  // namespace
+}  // namespace fleetio::rl

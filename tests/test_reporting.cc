@@ -1,0 +1,81 @@
+/** @file Tests for the reporting helpers. */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/harness/reporting.h"
+
+namespace fleetio {
+namespace {
+
+TEST(Table, AlignsColumnsAndPadsRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name"});  // short row padded
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Formatting, Doubles)
+{
+    EXPECT_EQ(fmtDouble(1.23456), "1.23");
+    EXPECT_EQ(fmtDouble(1.23456, 4), "1.2346");
+}
+
+TEST(Formatting, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.1234), "12.3%");
+    EXPECT_EQ(fmtPercent(1.0, 0), "100%");
+}
+
+TEST(Formatting, LatencyMs)
+{
+    EXPECT_EQ(fmtLatencyMs(msec(2)), "2.00ms");
+    EXPECT_EQ(fmtLatencyMs(usec(500)), "0.50ms");
+}
+
+TEST(Formatting, NormalizeGuardsZeroBase)
+{
+    EXPECT_DOUBLE_EQ(normalizeTo(10.0, 5.0), 2.0);
+    EXPECT_DOUBLE_EQ(normalizeTo(10.0, 0.0), 0.0);
+}
+
+TEST(Reporting, SummaryAndDetailRender)
+{
+    ExperimentResult res;
+    res.policy = "TestPolicy";
+    res.avg_util = 0.25;
+    res.p95_util = 0.5;
+    res.write_amp = 1.1;
+    TenantResult t;
+    t.workload = "YCSB";
+    t.avg_bw_mbps = 42.0;
+    t.p99 = msec(1);
+    res.tenants.push_back(t);
+
+    std::ostringstream os;
+    printExperimentSummary(res, os);
+    printExperimentDetail(res, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("TestPolicy"), std::string::npos);
+    EXPECT_NE(out.find("YCSB"), std::string::npos);
+    EXPECT_NE(out.find("25.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,158 @@
+/** @file Unit and statistical tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace fleetio {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias)
+{
+    Rng rng(11);
+    std::vector<int> hist(10, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++hist[rng.uniformInt(std::uint64_t(10))];
+    for (int count : hist)
+        EXPECT_NEAR(count, 5000, 350);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(13);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t(3), std::int64_t(7));
+        ASSERT_GE(v, 3);
+        ASSERT_LE(v, 7);
+        saw_lo |= v == 3;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);  // mean 0.25
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(19);
+    const int n = 20000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(3.0, 2.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.08);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.08);
+}
+
+TEST(Rng, ZipfIsSkewedTowardLowRanks)
+{
+    Rng rng(23);
+    const std::uint64_t n = 1000;
+    int rank0 = 0, tail = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) {
+        const auto r = rng.zipf(n, 1.0);
+        ASSERT_LT(r, n);
+        if (r == 0)
+            ++rank0;
+        if (r >= n / 2)
+            ++tail;
+    }
+    // Rank 0 should receive roughly 1/H(n) ~ 13% of draws at s=1.
+    EXPECT_GT(rank0, draws / 20);
+    EXPECT_LT(tail, draws / 5);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniform)
+{
+    Rng rng(29);
+    const std::uint64_t n = 100;
+    std::vector<int> hist(n, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++hist[rng.zipf(n, 0.0)];
+    for (int c : hist)
+        EXPECT_NEAR(c, 500, 150);
+}
+
+TEST(Rng, ZipfSingleElement)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.zipf(1, 1.2), 0u);
+}
+
+TEST(Rng, WeightedSamplingFollowsWeights)
+{
+    Rng rng(37);
+    std::vector<double> w{1.0, 3.0, 6.0};
+    std::vector<int> hist(3, 0);
+    for (int i = 0; i < 30000; ++i)
+        ++hist[rng.weighted(w)];
+    EXPECT_NEAR(hist[0], 3000, 400);
+    EXPECT_NEAR(hist[1], 9000, 600);
+    EXPECT_NEAR(hist[2], 18000, 800);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, BernoulliUnbiased)
+{
+    Rng rng(GetParam());
+    int heads = 0;
+    for (int i = 0; i < 10000; ++i)
+        heads += rng.bernoulli(0.3);
+    EXPECT_NEAR(heads, 3000, 250);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(1ull, 42ull, 9999ull,
+                                           0xDEADBEEFull));
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,91 @@
+/** @file Unit tests for GAE computation. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/rl/rollout_buffer.h"
+
+namespace fleetio::rl {
+namespace {
+
+Transition makeStep(double reward, double value, bool done = false)
+{
+    Transition t;
+    t.state = {0.0};
+    t.actions = {0};
+    t.reward = reward;
+    t.value = value;
+    t.done = done;
+    return t;
+}
+
+TEST(RolloutBuffer, SingleStepAdvantage)
+{
+    RolloutBuffer rb;
+    rb.add(makeStep(1.0, 0.5));
+    rb.computeGae(0.9, 0.95, /*last_value=*/2.0, /*normalize=*/false);
+    // delta = r + gamma*V' - V = 1 + 0.9*2 - 0.5 = 2.3.
+    EXPECT_NEAR(rb.advantage(0), 2.3, 1e-12);
+    EXPECT_NEAR(rb.returnAt(0), 2.8, 1e-12);
+}
+
+TEST(RolloutBuffer, DoneCutsBootstrap)
+{
+    RolloutBuffer rb;
+    rb.add(makeStep(1.0, 0.5, /*done=*/true));
+    rb.computeGae(0.9, 0.95, 100.0, false);
+    EXPECT_NEAR(rb.advantage(0), 0.5, 1e-12);  // 1 - 0.5
+}
+
+TEST(RolloutBuffer, GaeRecursionMatchesManualComputation)
+{
+    const double g = 0.9, l = 0.95;
+    RolloutBuffer rb;
+    rb.add(makeStep(1.0, 0.2));
+    rb.add(makeStep(0.0, 0.4));
+    rb.add(makeStep(2.0, 0.1));
+    rb.computeGae(g, l, 0.3, false);
+
+    const double d2 = 2.0 + g * 0.3 - 0.1;
+    const double d1 = 0.0 + g * 0.1 - 0.4;
+    const double d0 = 1.0 + g * 0.4 - 0.2;
+    const double a2 = d2;
+    const double a1 = d1 + g * l * a2;
+    const double a0 = d0 + g * l * a1;
+    EXPECT_NEAR(rb.advantage(2), a2, 1e-12);
+    EXPECT_NEAR(rb.advantage(1), a1, 1e-12);
+    EXPECT_NEAR(rb.advantage(0), a0, 1e-12);
+    EXPECT_NEAR(rb.returnAt(1), a1 + 0.4, 1e-12);
+}
+
+TEST(RolloutBuffer, NormalizationZeroMeanUnitVariance)
+{
+    RolloutBuffer rb;
+    for (int i = 0; i < 50; ++i)
+        rb.add(makeStep(double(i % 7), 0.0));
+    rb.computeGae(0.9, 0.95, 0.0, true);
+    double mean = 0, var = 0;
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        mean += rb.advantage(i);
+    mean /= double(rb.size());
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        var += std::pow(rb.advantage(i) - mean, 2);
+    var /= double(rb.size());
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-6);
+}
+
+TEST(RolloutBuffer, MeanRewardAndClear)
+{
+    RolloutBuffer rb;
+    rb.add(makeStep(1.0, 0.0));
+    rb.add(makeStep(3.0, 0.0));
+    EXPECT_DOUBLE_EQ(rb.meanReward(), 2.0);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_DOUBLE_EQ(rb.meanReward(), 0.0);
+    rb.computeGae(0.9, 0.95, 0.0);  // empty: no crash
+}
+
+}  // namespace
+}  // namespace fleetio::rl

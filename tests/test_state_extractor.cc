@@ -1,0 +1,116 @@
+/** @file Tests for RL state construction (Table 1). */
+#include <gtest/gtest.h>
+
+#include "src/core/state_extractor.h"
+
+namespace fleetio {
+namespace {
+
+class StateExtractorTest : public ::testing::Test
+{
+  protected:
+    StateExtractorTest()
+        : geo_(testGeometry()), dev_(geo_, eq_), hbt_(geo_),
+          mgr_(dev_, hbt_), extractor_(cfg_, geo_)
+    {
+        cfg_.decision_window = msec(100);
+        Vssd::Config vc;
+        vc.id = 0;
+        vc.quota_blocks = geo_.blocksPerChannel() * 4;
+        vc.channels = {0, 1, 2, 3};
+        vc.slo = msec(1);
+        v_ = &mgr_.create(vc);
+    }
+
+    FleetIoConfig cfg_;
+    SsdGeometry geo_;
+    EventQueue eq_;
+    FlashDevice dev_;
+    HarvestedBlockTable hbt_;
+    VssdManager mgr_;
+    StateExtractor extractor_;
+    Vssd *v_ = nullptr;
+};
+
+TEST_F(StateExtractorTest, StateHasElevenFeatures)
+{
+    const auto s = extractor_.windowState(*v_, SharedState{});
+    EXPECT_EQ(s.size(), FleetIoConfig::kStatesPerWindow);
+    EXPECT_EQ(FleetIoConfig::kStatesPerWindow, 11u);
+    EXPECT_EQ(extractor_.stateDim(), 33u);  // 3 windows x 11
+}
+
+TEST_F(StateExtractorTest, IdleVssdProducesIdleState)
+{
+    const auto s = extractor_.windowState(*v_, SharedState{});
+    EXPECT_DOUBLE_EQ(s[0], 0.0);  // Avg_BW
+    EXPECT_DOUBLE_EQ(s[1], 0.0);  // Avg_IOPS
+    EXPECT_DOUBLE_EQ(s[3], 0.0);  // SLO_Vio
+    EXPECT_DOUBLE_EQ(s[5], 1.0);  // RW_Ratio idle convention
+    EXPECT_DOUBLE_EQ(s[6], 1.0);  // full capacity available
+    EXPECT_DOUBLE_EQ(s[7], 0.0);  // In_GC
+    EXPECT_DOUBLE_EQ(s[8], 0.5);  // medium priority
+}
+
+TEST_F(StateExtractorTest, FeaturesReflectActivity)
+{
+    // 64 MB in a 100 ms window over 4 channels (guar 256 MB/s):
+    // Avg_BW feature = 640 / 256 = 2.5.
+    v_->bandwidth().record(IoType::kRead, 64ull * 1024 * 1024);
+    v_->latency().record(msec(2));  // violates the 1 ms SLO
+    v_->latency().record(usec(100));
+    v_->setPriority(Priority::kHigh);
+    const auto s = extractor_.windowState(*v_, SharedState{});
+    EXPECT_NEAR(s[0], 2.5, 1e-9);
+    EXPECT_DOUBLE_EQ(s[3], 0.5);
+    EXPECT_DOUBLE_EQ(s[8], 1.0);
+}
+
+TEST_F(StateExtractorTest, SharedStatesIncluded)
+{
+    SharedState shared;
+    shared.sum_iops = 20000;
+    shared.sum_slo_vio = 0.42;
+    const auto s = extractor_.windowState(*v_, shared);
+    EXPECT_NEAR(s[9], 2.0, 1e-9);   // 20000 / 1e4
+    EXPECT_NEAR(s[10], 0.42, 1e-9);
+}
+
+TEST_F(StateExtractorTest, StackZeroPadsUntilWarm)
+{
+    const auto empty = extractor_.stacked(0);
+    EXPECT_EQ(empty.size(), 33u);
+    for (double x : empty)
+        EXPECT_EQ(x, 0.0);
+
+    rl::Vector w1(11, 1.0);
+    extractor_.push(0, w1);
+    const auto one = extractor_.stacked(0);
+    // One window: the last 11 slots hold it, the rest are zero.
+    for (std::size_t i = 0; i < 22; ++i)
+        EXPECT_EQ(one[i], 0.0);
+    for (std::size_t i = 22; i < 33; ++i)
+        EXPECT_EQ(one[i], 1.0);
+}
+
+TEST_F(StateExtractorTest, StackKeepsNewestThreeOldestFirst)
+{
+    for (double v = 1; v <= 5; ++v)
+        extractor_.push(0, rl::Vector(11, v));
+    const auto s = extractor_.stacked(0);
+    EXPECT_EQ(s[0], 3.0);   // oldest kept window
+    EXPECT_EQ(s[11], 4.0);
+    EXPECT_EQ(s[22], 5.0);  // newest
+}
+
+TEST_F(StateExtractorTest, ResetForgetsHistory)
+{
+    extractor_.push(0, rl::Vector(11, 1.0));
+    extractor_.reset(0);
+    const auto s = extractor_.stacked(0);
+    for (double x : s)
+        EXPECT_EQ(x, 0.0);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,92 @@
+/** @file Unit tests for stride scheduling. */
+#include <gtest/gtest.h>
+
+#include "src/virt/stride_scheduler.h"
+
+namespace fleetio {
+namespace {
+
+TEST(StrideScheduler, EqualTicketsAlternate)
+{
+    StrideScheduler s;
+    s.setTickets(0, 1.0);
+    s.setTickets(1, 1.0);
+    std::vector<VssdId> cands{0, 1};
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 100; ++i) {
+        const std::size_t pick = s.pickMin(cands);
+        ASSERT_LT(pick, 2u);
+        ++counts[cands[pick]];
+        s.charge(cands[pick]);
+    }
+    EXPECT_EQ(counts[0], 50);
+    EXPECT_EQ(counts[1], 50);
+}
+
+TEST(StrideScheduler, ProportionalToTickets)
+{
+    StrideScheduler s;
+    s.setTickets(0, 3.0);
+    s.setTickets(1, 1.0);
+    std::vector<VssdId> cands{0, 1};
+    int counts[2] = {0, 0};
+    for (int i = 0; i < 400; ++i) {
+        const std::size_t pick = s.pickMin(cands);
+        ++counts[cands[pick]];
+        s.charge(cands[pick]);
+    }
+    EXPECT_NEAR(counts[0], 300, 4);
+    EXPECT_NEAR(counts[1], 100, 4);
+}
+
+TEST(StrideScheduler, ChargeWithWorkWeight)
+{
+    StrideScheduler s;
+    s.setTickets(0, 1.0);
+    const double before = s.pass(0);
+    s.charge(0, 2.0);
+    EXPECT_DOUBLE_EQ(s.pass(0) - before,
+                     2.0 * StrideScheduler::kStrideScale);
+}
+
+TEST(StrideScheduler, NewcomerJoinsAtGlobalPass)
+{
+    StrideScheduler s;
+    s.setTickets(0, 1.0);
+    for (int i = 0; i < 50; ++i)
+        s.charge(0);
+    // A fresh vSSD must not monopolize by starting at pass 0.
+    s.setTickets(1, 1.0);
+    EXPECT_GE(s.pass(1), s.pass(0) - StrideScheduler::kStrideScale);
+}
+
+TEST(StrideScheduler, PickMinOnEmptyReturnsSentinel)
+{
+    StrideScheduler s;
+    EXPECT_EQ(s.pickMin({}), SIZE_MAX);
+}
+
+TEST(StrideScheduler, RemoveForgetsState)
+{
+    StrideScheduler s;
+    s.setTickets(0, 1.0);
+    s.charge(0, 100.0);
+    s.remove(0);
+    EXPECT_DOUBLE_EQ(s.pass(0), 0.0);
+}
+
+TEST(StrideScheduler, UnknownCandidateTreatedAsGlobalPass)
+{
+    StrideScheduler s;
+    s.setTickets(0, 1.0);
+    for (int i = 0; i < 10; ++i)
+        s.charge(0);
+    // Unregistered id 5: should not automatically win over id 0 by
+    // having zero pass.
+    std::vector<VssdId> cands{0, 5};
+    const std::size_t pick = s.pickMin(cands);
+    EXPECT_EQ(cands[pick], 0u);  // 0's pass is below global after rest
+}
+
+}  // namespace
+}  // namespace fleetio

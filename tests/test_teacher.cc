@@ -1,0 +1,115 @@
+/** @file Tests for the §3.3.2 heuristic teacher policy. */
+#include <gtest/gtest.h>
+
+#include "src/core/teacher.h"
+#include "src/harness/testbed.h"
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+namespace {
+
+class TeacherTest : public ::testing::Test
+{
+  protected:
+    TeacherTest()
+    {
+        TestbedOptions opts;
+        opts.geo = testGeometry();
+        tb_ = std::make_unique<Testbed>(opts);
+        const auto split =
+            ChannelAllocator::equalSplit(tb_->device().geometry(), 2);
+        const auto quota = tb_->device().geometry().totalBlocks() / 2;
+        ls_ = &tb_->addTenant(WorkloadKind::kVdiWeb, split[0], quota,
+                              msec(2));
+        bi_ = &tb_->addTenant(WorkloadKind::kTeraSort, split[1], quota,
+                              msec(30));
+        cfg_.decision_window = msec(100);
+    }
+
+    AgentAction act(const Vssd &v)
+    {
+        return teacherAction(v, tb_->gsb(),
+                             tb_->device().geometry(),
+                             cfg_.decision_window, cfg_);
+    }
+
+    FleetIoConfig cfg_;
+    std::unique_ptr<Testbed> tb_;
+    Vssd *ls_ = nullptr;
+    Vssd *bi_ = nullptr;
+};
+
+TEST_F(TeacherTest, IdleTenantDonatesItsBandwidth)
+{
+    // No traffic at all: almost everything is idle and donatable.
+    const auto a = act(*ls_);
+    EXPECT_GT(a.harvestable_bw_mbps, 0.0);
+    EXPECT_DOUBLE_EQ(a.harvest_bw_mbps, 0.0);
+    EXPECT_EQ(a.priority, Priority::kMedium);
+}
+
+TEST_F(TeacherTest, DeepQueueTriggersHarvesting)
+{
+    for (int i = 0; i < 100; ++i)
+        bi_->queue().onEnqueue();
+    const auto a = act(*bi_);
+    EXPECT_GT(a.harvest_bw_mbps, 0.0);
+    EXPECT_DOUBLE_EQ(a.harvestable_bw_mbps, 0.0);
+    // A harvester is a polite guest: low priority.
+    EXPECT_EQ(a.priority, Priority::kLow);
+}
+
+TEST_F(TeacherTest, SloViolationsRaisePriorityAndStopDonations)
+{
+    // 10 % of window requests violate the 2 ms SLO.
+    for (int i = 0; i < 90; ++i)
+        ls_->latency().record(usec(500));
+    for (int i = 0; i < 10; ++i)
+        ls_->latency().record(msec(5));
+    const auto a = act(*ls_);
+    EXPECT_EQ(a.priority, Priority::kHigh);
+    EXPECT_DOUBLE_EQ(a.harvestable_bw_mbps, 0.0);
+}
+
+TEST_F(TeacherTest, BusyTenantDoesNotDonate)
+{
+    // Use most of the guaranteed bandwidth within the window.
+    const double guar =
+        ls_->guaranteedBandwidthMBps(tb_->device().geometry());
+    const auto bytes = std::uint64_t(
+        guar * 0.9 * 1024 * 1024 *
+        toSeconds(cfg_.decision_window));
+    ls_->bandwidth().record(IoType::kRead, bytes);
+    const auto a = act(*ls_);
+    EXPECT_DOUBLE_EQ(a.harvestable_bw_mbps, 0.0);
+}
+
+TEST_F(TeacherTest, ActiveGcHalvesTheDonation)
+{
+    // Baseline donation level for an idle tenant.
+    const auto idle = act(*ls_);
+    ASSERT_GT(idle.harvestable_bw_mbps, 0.0);
+    // Force GC activity (fill until pressure then start).
+    Ppa ppa;
+    Lpa lpa = 0;
+    while (!ls_->ftl().needsGc()) {
+        ASSERT_TRUE(ls_->ftl().allocateWrite(lpa, ppa));
+        lpa = (lpa + 1) % (ls_->ftl().logicalPages() / 4);
+    }
+    ls_->gc().maybeStart();
+    ASSERT_TRUE(ls_->gc().active());
+    const auto busy = act(*ls_);
+    EXPECT_LE(busy.harvestable_bw_mbps,
+              idle.harvestable_bw_mbps / 2 + 1e-9);
+}
+
+TEST_F(TeacherTest, ActionsRespectTheConfiguredLevelRange)
+{
+    for (int i = 0; i < 500; ++i)
+        bi_->queue().onEnqueue();
+    const auto a = act(*bi_);
+    EXPECT_LE(a.harvest_bw_mbps, cfg_.harvest_bw_levels.back());
+}
+
+}  // namespace
+}  // namespace fleetio

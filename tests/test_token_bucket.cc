@@ -1,0 +1,72 @@
+/** @file Unit tests for the token-bucket rate limiter. */
+#include <gtest/gtest.h>
+
+#include "src/virt/token_bucket.h"
+
+namespace fleetio {
+namespace {
+
+TEST(TokenBucket, StartsFull)
+{
+    TokenBucket tb(1000.0, 500.0);
+    EXPECT_DOUBLE_EQ(tb.tokens(0), 500.0);
+    EXPECT_TRUE(tb.tryConsume(500.0, 0));
+    EXPECT_FALSE(tb.tryConsume(1.0, 0));
+}
+
+TEST(TokenBucket, RefillsAtRate)
+{
+    TokenBucket tb(1000.0, 10000.0);  // 1000 B/s
+    ASSERT_TRUE(tb.tryConsume(10000.0, 0));
+    EXPECT_FALSE(tb.tryConsume(100.0, 0));
+    // After 100 ms, 100 bytes of tokens.
+    EXPECT_TRUE(tb.tryConsume(100.0, msec(100)));
+    EXPECT_FALSE(tb.tryConsume(1.0, msec(100)));
+}
+
+TEST(TokenBucket, CapsAtCapacity)
+{
+    TokenBucket tb(1e6, 100.0);
+    EXPECT_NEAR(tb.tokens(sec(100)), 100.0, 1e-9);
+}
+
+TEST(TokenBucket, AvailableAtComputesWaitTime)
+{
+    TokenBucket tb(1000.0, 1000.0);
+    ASSERT_TRUE(tb.tryConsume(1000.0, 0));
+    // Need 500 bytes at 1000 B/s: 0.5 s.
+    const SimTime at = tb.availableAt(500.0, 0);
+    EXPECT_NEAR(double(at), double(msec(500)), 1e6);
+    // Already available: returns now.
+    EXPECT_EQ(tb.availableAt(0.0, usec(10)), usec(10));
+}
+
+TEST(TokenBucket, AvailableAtIsConsistentWithTryConsume)
+{
+    TokenBucket tb(2048.0, 4096.0);
+    ASSERT_TRUE(tb.tryConsume(4096.0, 0));
+    const SimTime at = tb.availableAt(1024.0, 0);
+    EXPECT_FALSE(tb.tryConsume(1024.0, at - usec(10)));
+    EXPECT_TRUE(tb.tryConsume(1024.0, at + usec(1)));
+}
+
+TEST(TokenBucket, RateChangeKeepsLevel)
+{
+    TokenBucket tb(1000.0, 1000.0);
+    tb.tryConsume(600.0, 0);
+    tb.setRate(2000.0);
+    EXPECT_NEAR(tb.tokens(0), 400.0, 1e-9);
+    // Refill now happens at the new rate.
+    EXPECT_NEAR(tb.tokens(msec(100)), 600.0, 1e-6);
+}
+
+TEST(TokenBucket, TimeNeverGoesBackwards)
+{
+    TokenBucket tb(1000.0, 1000.0);
+    tb.tryConsume(1000.0, sec(1));
+    // Querying an earlier time must not mint tokens.
+    EXPECT_NEAR(tb.tokens(msec(500)), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,115 @@
+/** @file Unit tests for workload-type classification. */
+#include <gtest/gtest.h>
+
+#include "src/cluster/workload_classifier.h"
+
+namespace fleetio {
+namespace {
+
+using rl::Vector;
+
+/** Synthetic feature windows for three archetypes. */
+struct Corpus
+{
+    std::vector<Vector> features;
+    std::vector<int> ids;
+};
+
+Corpus
+makeCorpus(Rng &rng, int per_type)
+{
+    Corpus c;
+    auto add = [&](int id, double rbw, double wbw, double ent,
+                   double io) {
+        c.features.push_back({rbw + rng.normal() * rbw * 0.05,
+                              wbw + rng.normal() * wbw * 0.05,
+                              ent + rng.normal() * 0.1,
+                              io + rng.normal() * io * 0.05});
+        c.ids.push_back(id);
+    };
+    for (int i = 0; i < per_type; ++i) {
+        add(0, 20, 8, 7.5, 20);     // LS high-entropy (VDI-like)
+        add(1, 35, 2, 3.0, 16);     // LS low-entropy (YCSB-like)
+        add(2, 150, 120, 4.5, 140); // bandwidth-intensive
+    }
+    return c;
+}
+
+TEST(WorkloadClassifier, UnfittedIsInert)
+{
+    WorkloadClassifier wc;
+    EXPECT_FALSE(wc.fitted());
+    EXPECT_EQ(wc.numClusters(), 0);
+    const auto a = wc.classify({1, 1, 1, 1});
+    EXPECT_EQ(a.cluster, -1);
+}
+
+TEST(WorkloadClassifier, SeparatesThreeTypes)
+{
+    Rng rng(31);
+    const auto corpus = makeCorpus(rng, 60);
+    WorkloadClassifier wc;
+    wc.fit(corpus.features, corpus.ids);
+    ASSERT_TRUE(wc.fitted());
+    EXPECT_EQ(wc.numClusters(), 3);
+    // Each workload id lands in its own cluster.
+    const int c0 = wc.groundTruthCluster(0);
+    const int c1 = wc.groundTruthCluster(1);
+    const int c2 = wc.groundTruthCluster(2);
+    EXPECT_NE(c0, c1);
+    EXPECT_NE(c1, c2);
+    EXPECT_NE(c0, c2);
+    // Majority labels invert the mapping.
+    EXPECT_EQ(wc.clusterMajorityWorkload(c0), 0);
+    EXPECT_EQ(wc.clusterMajorityWorkload(c2), 2);
+}
+
+TEST(WorkloadClassifier, TestAccuracyIsHighOnHeldOutData)
+{
+    Rng rng(32);
+    const auto train = makeCorpus(rng, 70);
+    const auto test = makeCorpus(rng, 30);
+    WorkloadClassifier wc;
+    wc.fit(train.features, train.ids);
+    // Paper reports 98.4 % on its 30 % held-out split.
+    EXPECT_GT(wc.testAccuracy(test.features, test.ids), 0.95);
+}
+
+TEST(WorkloadClassifier, KnownWindowClassifiesIntoItsCluster)
+{
+    Rng rng(33);
+    const auto corpus = makeCorpus(rng, 60);
+    WorkloadClassifier wc;
+    wc.fit(corpus.features, corpus.ids);
+    const auto a = wc.classify({150, 120, 4.5, 140});
+    EXPECT_EQ(a.cluster, wc.groundTruthCluster(2));
+}
+
+TEST(WorkloadClassifier, OutlierWindowIsUnknown)
+{
+    Rng rng(34);
+    const auto corpus = makeCorpus(rng, 60);
+    WorkloadClassifier wc;
+    wc.fit(corpus.features, corpus.ids);
+    // A wildly different workload (bandwidth 100x the corpus).
+    const auto a = wc.classify({15000, 12000, 1.0, 2000});
+    EXPECT_EQ(a.cluster, -1);
+    EXPECT_GT(a.distance, 0.0);
+}
+
+TEST(WorkloadClassifier, NormalizationIsZScore)
+{
+    Rng rng(35);
+    const auto corpus = makeCorpus(rng, 50);
+    WorkloadClassifier wc;
+    wc.fit(corpus.features, corpus.ids);
+    // The normalized corpus should be roughly zero-mean.
+    Vector sum(4, 0.0);
+    for (const auto &f : corpus.features)
+        rl::axpy(1.0, wc.normalize(f), sum);
+    for (double s : sum)
+        EXPECT_NEAR(s / double(corpus.features.size()), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace fleetio

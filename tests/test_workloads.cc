@@ -1,0 +1,174 @@
+/** @file Tests for the synthetic workload generators. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "src/cluster/features.h"
+#include "src/harness/testbed.h"
+
+namespace fleetio {
+namespace {
+
+class WorkloadTest : public ::testing::Test
+{
+  protected:
+    WorkloadTest()
+    {
+        TestbedOptions opts;
+        opts.geo = testGeometry();
+        tb_ = std::make_unique<Testbed>(opts);
+    }
+
+    Vssd &soloTenant(WorkloadKind kind)
+    {
+        std::vector<ChannelId> all(16);
+        std::iota(all.begin(), all.end(), 0);
+        return tb_->addTenant(kind, all,
+                              tb_->device().geometry().totalBlocks(),
+                              msec(50));
+    }
+
+    std::unique_ptr<Testbed> tb_;
+};
+
+TEST_F(WorkloadTest, ProfileNamesAndCategories)
+{
+    EXPECT_EQ(workloadName(WorkloadKind::kTeraSort), "TeraSort");
+    EXPECT_EQ(workloadName(WorkloadKind::kVdiWeb), "VDI-Web");
+    EXPECT_TRUE(isBandwidthIntensive(WorkloadKind::kTeraSort));
+    EXPECT_TRUE(isBandwidthIntensive(WorkloadKind::kMlPrep));
+    EXPECT_TRUE(isBandwidthIntensive(WorkloadKind::kPageRank));
+    EXPECT_FALSE(isBandwidthIntensive(WorkloadKind::kVdiWeb));
+    EXPECT_FALSE(isBandwidthIntensive(WorkloadKind::kYcsbB));
+    EXPECT_EQ(allWorkloadKinds().size(), 9u);
+}
+
+TEST_F(WorkloadTest, IntensityScalesArrivals)
+{
+    const auto base = profileFor(WorkloadKind::kVdiWeb, 1.0);
+    const auto twice = profileFor(WorkloadKind::kVdiWeb, 2.0);
+    EXPECT_DOUBLE_EQ(twice.arrival_iops, 2 * base.arrival_iops);
+    const auto bi = profileFor(WorkloadKind::kTeraSort, 0.5);
+    EXPECT_EQ(bi.outstanding,
+              profileFor(WorkloadKind::kTeraSort, 1.0).outstanding / 2);
+}
+
+TEST_F(WorkloadTest, OpenLoopIssuesAtConfiguredRate)
+{
+    Vssd &v = soloTenant(WorkloadKind::kYcsbB);
+    tb_->startWorkloads();
+    tb_->run(sec(2));
+    const auto &w = tb_->workload(v.id());
+    const double iops = double(w.issued()) / 2.0;
+    const auto profile = profileFor(WorkloadKind::kYcsbB);
+    EXPECT_NEAR(iops, profile.arrival_iops, profile.arrival_iops * 0.15);
+}
+
+TEST_F(WorkloadTest, ClosedLoopKeepsBoundedInFlight)
+{
+    Vssd &v = soloTenant(WorkloadKind::kTeraSort);
+    tb_->startWorkloads();
+    tb_->run(sec(2));
+    const auto &w = tb_->workload(v.id());
+    EXPECT_GT(w.completed(), 0u);
+    // In-flight never exceeds the slot count.
+    EXPECT_LE(w.issued() - w.completed(),
+              std::uint64_t(profileFor(WorkloadKind::kTeraSort)
+                                .outstanding));
+}
+
+TEST_F(WorkloadTest, StopHaltsIssuing)
+{
+    Vssd &v = soloTenant(WorkloadKind::kVdiWeb);
+    tb_->startWorkloads();
+    tb_->run(sec(1));
+    tb_->workload(v.id()).stop();
+    const auto issued = tb_->workload(v.id()).issued();
+    tb_->run(sec(1));
+    EXPECT_EQ(tb_->workload(v.id()).issued(), issued);
+}
+
+TEST_F(WorkloadTest, TraceCaptureRecordsRequests)
+{
+    Vssd &v = soloTenant(WorkloadKind::kYcsbB);
+    auto &w = tb_->workload(v.id());
+    w.enableTrace(1000);
+    tb_->startWorkloads();
+    tb_->run(sec(2));
+    EXPECT_GT(w.trace().size(), 100u);
+    EXPECT_LE(w.trace().size(), 1000u);
+    // Addresses within the logical space.
+    for (const auto &rec : w.trace())
+        EXPECT_LT(rec.lpa + rec.npages, v.ftl().logicalPages() + 1);
+}
+
+TEST_F(WorkloadTest, YcsbHasLowerEntropyThanVdi)
+{
+    // The Fig. 6 premise: YCSB's key locality gives it lower LPA
+    // entropy than VDI-Web.
+    auto entropyOf = [](WorkloadKind kind) {
+        TestbedOptions opts;
+        opts.geo = testGeometry();
+        Testbed tb(opts);
+        std::vector<ChannelId> all(16);
+        std::iota(all.begin(), all.end(), 0);
+        Vssd &v = tb.addTenant(kind, all,
+                               tb.device().geometry().totalBlocks(),
+                               msec(50));
+        auto &w = tb.workload(v.id());
+        w.enableTrace(6000);
+        tb.startWorkloads();
+        tb.run(sec(4));
+        const auto windows = extractWindows(
+            w.trace(), tb.device().geometry().page_size,
+            v.ftl().logicalPages(), 2000);
+        EXPECT_FALSE(windows.empty());
+        double e = 0;
+        for (const auto &f : windows)
+            e += f.lpa_entropy;
+        return e / double(windows.size());
+    };
+    EXPECT_LT(entropyOf(WorkloadKind::kYcsbB),
+              entropyOf(WorkloadKind::kVdiWeb) - 0.3);
+}
+
+TEST_F(WorkloadTest, BurstsModulateClosedLoopThroughput)
+{
+    Vssd &v = soloTenant(WorkloadKind::kTeraSort);
+    tb_->startWorkloads();
+    // Sample per-window issue counts across one burst period.
+    const auto profile = profileFor(WorkloadKind::kTeraSort);
+    ASSERT_GT(profile.burst_period, 0u);
+    std::vector<std::uint64_t> per_window;
+    std::uint64_t last = 0;
+    const SimTime step = profile.burst_period / 12;
+    for (int i = 0; i < 24; ++i) {
+        tb_->run(step);
+        const auto now = tb_->workload(v.id()).completed();
+        per_window.push_back(now - last);
+        last = now;
+    }
+    const auto hi = *std::max_element(per_window.begin(),
+                                      per_window.end());
+    const auto lo = *std::min_element(per_window.begin() + 1,
+                                      per_window.end());
+    EXPECT_GT(hi, 3 * std::max<std::uint64_t>(lo, 1));
+}
+
+TEST_F(WorkloadTest, MorphSwitchesBehaviour)
+{
+    Vssd &v = soloTenant(WorkloadKind::kYcsbB);
+    auto &w = tb_->workload(v.id());
+    tb_->startWorkloads();
+    tb_->run(sec(1));
+    const auto before = w.issued();
+    w.morphTo(profileFor(WorkloadKind::kVdiWeb));
+    EXPECT_EQ(w.name(), "VDI-Web");
+    tb_->run(sec(1));
+    EXPECT_GT(w.issued(), before);
+}
+
+}  // namespace
+}  // namespace fleetio
