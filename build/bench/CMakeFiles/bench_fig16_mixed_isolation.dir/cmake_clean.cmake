@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_mixed_isolation.dir/bench_fig16_mixed_isolation.cc.o"
+  "CMakeFiles/bench_fig16_mixed_isolation.dir/bench_fig16_mixed_isolation.cc.o.d"
+  "bench_fig16_mixed_isolation"
+  "bench_fig16_mixed_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_mixed_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec47_overheads.dir/bench_sec47_overheads.cc.o"
+  "CMakeFiles/bench_sec47_overheads.dir/bench_sec47_overheads.cc.o.d"
+  "bench_sec47_overheads"
+  "bench_sec47_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec47_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

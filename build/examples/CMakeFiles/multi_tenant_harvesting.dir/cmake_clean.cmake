@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tenant_harvesting.dir/multi_tenant_harvesting.cpp.o"
+  "CMakeFiles/multi_tenant_harvesting.dir/multi_tenant_harvesting.cpp.o.d"
+  "multi_tenant_harvesting"
+  "multi_tenant_harvesting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tenant_harvesting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

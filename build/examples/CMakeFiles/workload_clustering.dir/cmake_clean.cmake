@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_clustering.dir/workload_clustering.cpp.o"
+  "CMakeFiles/workload_clustering.dir/workload_clustering.cpp.o.d"
+  "workload_clustering"
+  "workload_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/alpha_tuner.cc" "src/CMakeFiles/fleetio.dir/cluster/alpha_tuner.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/cluster/alpha_tuner.cc.o.d"
+  "/root/repo/src/cluster/features.cc" "src/CMakeFiles/fleetio.dir/cluster/features.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/cluster/features.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/CMakeFiles/fleetio.dir/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/cluster/kmeans.cc.o.d"
+  "/root/repo/src/cluster/pca.cc" "src/CMakeFiles/fleetio.dir/cluster/pca.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/cluster/pca.cc.o.d"
+  "/root/repo/src/cluster/workload_classifier.cc" "src/CMakeFiles/fleetio.dir/cluster/workload_classifier.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/cluster/workload_classifier.cc.o.d"
+  "/root/repo/src/core/action.cc" "src/CMakeFiles/fleetio.dir/core/action.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/action.cc.o.d"
+  "/root/repo/src/core/admission_control.cc" "src/CMakeFiles/fleetio.dir/core/admission_control.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/admission_control.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/CMakeFiles/fleetio.dir/core/agent.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/agent.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/fleetio.dir/core/config.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/config.cc.o.d"
+  "/root/repo/src/core/fleetio_controller.cc" "src/CMakeFiles/fleetio.dir/core/fleetio_controller.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/fleetio_controller.cc.o.d"
+  "/root/repo/src/core/reward.cc" "src/CMakeFiles/fleetio.dir/core/reward.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/reward.cc.o.d"
+  "/root/repo/src/core/state_extractor.cc" "src/CMakeFiles/fleetio.dir/core/state_extractor.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/state_extractor.cc.o.d"
+  "/root/repo/src/core/teacher.cc" "src/CMakeFiles/fleetio.dir/core/teacher.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/core/teacher.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/fleetio.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/reporting.cc" "src/CMakeFiles/fleetio.dir/harness/reporting.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harness/reporting.cc.o.d"
+  "/root/repo/src/harness/testbed.cc" "src/CMakeFiles/fleetio.dir/harness/testbed.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harness/testbed.cc.o.d"
+  "/root/repo/src/harvest/gsb.cc" "src/CMakeFiles/fleetio.dir/harvest/gsb.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harvest/gsb.cc.o.d"
+  "/root/repo/src/harvest/gsb_manager.cc" "src/CMakeFiles/fleetio.dir/harvest/gsb_manager.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harvest/gsb_manager.cc.o.d"
+  "/root/repo/src/harvest/gsb_pool.cc" "src/CMakeFiles/fleetio.dir/harvest/gsb_pool.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harvest/gsb_pool.cc.o.d"
+  "/root/repo/src/harvest/harvested_block_table.cc" "src/CMakeFiles/fleetio.dir/harvest/harvested_block_table.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/harvest/harvested_block_table.cc.o.d"
+  "/root/repo/src/policies/adaptive.cc" "src/CMakeFiles/fleetio.dir/policies/adaptive.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/adaptive.cc.o.d"
+  "/root/repo/src/policies/fleetio_policy.cc" "src/CMakeFiles/fleetio.dir/policies/fleetio_policy.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/fleetio_policy.cc.o.d"
+  "/root/repo/src/policies/hardware_isolation.cc" "src/CMakeFiles/fleetio.dir/policies/hardware_isolation.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/hardware_isolation.cc.o.d"
+  "/root/repo/src/policies/policy.cc" "src/CMakeFiles/fleetio.dir/policies/policy.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/policy.cc.o.d"
+  "/root/repo/src/policies/software_isolation.cc" "src/CMakeFiles/fleetio.dir/policies/software_isolation.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/software_isolation.cc.o.d"
+  "/root/repo/src/policies/ssdkeeper.cc" "src/CMakeFiles/fleetio.dir/policies/ssdkeeper.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/policies/ssdkeeper.cc.o.d"
+  "/root/repo/src/rl/adam.cc" "src/CMakeFiles/fleetio.dir/rl/adam.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/adam.cc.o.d"
+  "/root/repo/src/rl/categorical.cc" "src/CMakeFiles/fleetio.dir/rl/categorical.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/categorical.cc.o.d"
+  "/root/repo/src/rl/matrix.cc" "src/CMakeFiles/fleetio.dir/rl/matrix.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/matrix.cc.o.d"
+  "/root/repo/src/rl/mlp.cc" "src/CMakeFiles/fleetio.dir/rl/mlp.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/mlp.cc.o.d"
+  "/root/repo/src/rl/policy_network.cc" "src/CMakeFiles/fleetio.dir/rl/policy_network.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/policy_network.cc.o.d"
+  "/root/repo/src/rl/ppo.cc" "src/CMakeFiles/fleetio.dir/rl/ppo.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/ppo.cc.o.d"
+  "/root/repo/src/rl/rollout_buffer.cc" "src/CMakeFiles/fleetio.dir/rl/rollout_buffer.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/rl/rollout_buffer.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/fleetio.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/fleetio.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/sim/rng.cc.o.d"
+  "/root/repo/src/ssd/channel.cc" "src/CMakeFiles/fleetio.dir/ssd/channel.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/channel.cc.o.d"
+  "/root/repo/src/ssd/flash_chip.cc" "src/CMakeFiles/fleetio.dir/ssd/flash_chip.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/flash_chip.cc.o.d"
+  "/root/repo/src/ssd/flash_device.cc" "src/CMakeFiles/fleetio.dir/ssd/flash_device.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/flash_device.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/CMakeFiles/fleetio.dir/ssd/ftl.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/ftl.cc.o.d"
+  "/root/repo/src/ssd/gc.cc" "src/CMakeFiles/fleetio.dir/ssd/gc.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/gc.cc.o.d"
+  "/root/repo/src/ssd/geometry.cc" "src/CMakeFiles/fleetio.dir/ssd/geometry.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/geometry.cc.o.d"
+  "/root/repo/src/ssd/superblock.cc" "src/CMakeFiles/fleetio.dir/ssd/superblock.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/ssd/superblock.cc.o.d"
+  "/root/repo/src/stats/bandwidth_meter.cc" "src/CMakeFiles/fleetio.dir/stats/bandwidth_meter.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/stats/bandwidth_meter.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/fleetio.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/latency_tracker.cc" "src/CMakeFiles/fleetio.dir/stats/latency_tracker.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/stats/latency_tracker.cc.o.d"
+  "/root/repo/src/virt/channel_allocator.cc" "src/CMakeFiles/fleetio.dir/virt/channel_allocator.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/channel_allocator.cc.o.d"
+  "/root/repo/src/virt/io_scheduler.cc" "src/CMakeFiles/fleetio.dir/virt/io_scheduler.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/io_scheduler.cc.o.d"
+  "/root/repo/src/virt/stride_scheduler.cc" "src/CMakeFiles/fleetio.dir/virt/stride_scheduler.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/stride_scheduler.cc.o.d"
+  "/root/repo/src/virt/token_bucket.cc" "src/CMakeFiles/fleetio.dir/virt/token_bucket.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/token_bucket.cc.o.d"
+  "/root/repo/src/virt/virtual_queue.cc" "src/CMakeFiles/fleetio.dir/virt/virtual_queue.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/virtual_queue.cc.o.d"
+  "/root/repo/src/virt/vssd.cc" "src/CMakeFiles/fleetio.dir/virt/vssd.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/virt/vssd.cc.o.d"
+  "/root/repo/src/workloads/address_space.cc" "src/CMakeFiles/fleetio.dir/workloads/address_space.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/workloads/address_space.cc.o.d"
+  "/root/repo/src/workloads/generators.cc" "src/CMakeFiles/fleetio.dir/workloads/generators.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/workloads/generators.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/CMakeFiles/fleetio.dir/workloads/workload.cc.o" "gcc" "src/CMakeFiles/fleetio.dir/workloads/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

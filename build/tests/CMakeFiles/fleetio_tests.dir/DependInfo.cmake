@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_action_reward.cc" "tests/CMakeFiles/fleetio_tests.dir/test_action_reward.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_action_reward.cc.o.d"
+  "/root/repo/tests/test_adam.cc" "tests/CMakeFiles/fleetio_tests.dir/test_adam.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_adam.cc.o.d"
+  "/root/repo/tests/test_admission_control.cc" "tests/CMakeFiles/fleetio_tests.dir/test_admission_control.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_admission_control.cc.o.d"
+  "/root/repo/tests/test_agent.cc" "tests/CMakeFiles/fleetio_tests.dir/test_agent.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_agent.cc.o.d"
+  "/root/repo/tests/test_alpha_tuner.cc" "tests/CMakeFiles/fleetio_tests.dir/test_alpha_tuner.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_alpha_tuner.cc.o.d"
+  "/root/repo/tests/test_bandwidth_meter.cc" "tests/CMakeFiles/fleetio_tests.dir/test_bandwidth_meter.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_bandwidth_meter.cc.o.d"
+  "/root/repo/tests/test_categorical.cc" "tests/CMakeFiles/fleetio_tests.dir/test_categorical.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_categorical.cc.o.d"
+  "/root/repo/tests/test_channel_allocator.cc" "tests/CMakeFiles/fleetio_tests.dir/test_channel_allocator.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_channel_allocator.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/fleetio_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_features.cc" "tests/CMakeFiles/fleetio_tests.dir/test_features.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_features.cc.o.d"
+  "/root/repo/tests/test_flash_chip.cc" "tests/CMakeFiles/fleetio_tests.dir/test_flash_chip.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_flash_chip.cc.o.d"
+  "/root/repo/tests/test_flash_device.cc" "tests/CMakeFiles/fleetio_tests.dir/test_flash_device.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_flash_device.cc.o.d"
+  "/root/repo/tests/test_fleetio_controller.cc" "tests/CMakeFiles/fleetio_tests.dir/test_fleetio_controller.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_fleetio_controller.cc.o.d"
+  "/root/repo/tests/test_ftl.cc" "tests/CMakeFiles/fleetio_tests.dir/test_ftl.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_ftl.cc.o.d"
+  "/root/repo/tests/test_gc.cc" "tests/CMakeFiles/fleetio_tests.dir/test_gc.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_gc.cc.o.d"
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/fleetio_tests.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_geometry.cc.o.d"
+  "/root/repo/tests/test_gsb.cc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb.cc.o.d"
+  "/root/repo/tests/test_gsb_manager.cc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb_manager.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb_manager.cc.o.d"
+  "/root/repo/tests/test_gsb_pool.cc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb_pool.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_gsb_pool.cc.o.d"
+  "/root/repo/tests/test_hbt.cc" "tests/CMakeFiles/fleetio_tests.dir/test_hbt.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_hbt.cc.o.d"
+  "/root/repo/tests/test_histogram.cc" "tests/CMakeFiles/fleetio_tests.dir/test_histogram.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_histogram.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/fleetio_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_io_scheduler.cc" "tests/CMakeFiles/fleetio_tests.dir/test_io_scheduler.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_io_scheduler.cc.o.d"
+  "/root/repo/tests/test_kmeans.cc" "tests/CMakeFiles/fleetio_tests.dir/test_kmeans.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_kmeans.cc.o.d"
+  "/root/repo/tests/test_latency_tracker.cc" "tests/CMakeFiles/fleetio_tests.dir/test_latency_tracker.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_latency_tracker.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/fleetio_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_mlp.cc" "tests/CMakeFiles/fleetio_tests.dir/test_mlp.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_mlp.cc.o.d"
+  "/root/repo/tests/test_pca.cc" "tests/CMakeFiles/fleetio_tests.dir/test_pca.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_pca.cc.o.d"
+  "/root/repo/tests/test_policies.cc" "tests/CMakeFiles/fleetio_tests.dir/test_policies.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_policies.cc.o.d"
+  "/root/repo/tests/test_policy_network.cc" "tests/CMakeFiles/fleetio_tests.dir/test_policy_network.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_policy_network.cc.o.d"
+  "/root/repo/tests/test_ppo.cc" "tests/CMakeFiles/fleetio_tests.dir/test_ppo.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_ppo.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/fleetio_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_reporting.cc" "tests/CMakeFiles/fleetio_tests.dir/test_reporting.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_reporting.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/fleetio_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_rollout_buffer.cc" "tests/CMakeFiles/fleetio_tests.dir/test_rollout_buffer.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_rollout_buffer.cc.o.d"
+  "/root/repo/tests/test_state_extractor.cc" "tests/CMakeFiles/fleetio_tests.dir/test_state_extractor.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_state_extractor.cc.o.d"
+  "/root/repo/tests/test_stride_scheduler.cc" "tests/CMakeFiles/fleetio_tests.dir/test_stride_scheduler.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_stride_scheduler.cc.o.d"
+  "/root/repo/tests/test_superblock.cc" "tests/CMakeFiles/fleetio_tests.dir/test_superblock.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_superblock.cc.o.d"
+  "/root/repo/tests/test_teacher.cc" "tests/CMakeFiles/fleetio_tests.dir/test_teacher.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_teacher.cc.o.d"
+  "/root/repo/tests/test_testbed.cc" "tests/CMakeFiles/fleetio_tests.dir/test_testbed.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_testbed.cc.o.d"
+  "/root/repo/tests/test_token_bucket.cc" "tests/CMakeFiles/fleetio_tests.dir/test_token_bucket.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_token_bucket.cc.o.d"
+  "/root/repo/tests/test_vssd.cc" "tests/CMakeFiles/fleetio_tests.dir/test_vssd.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_vssd.cc.o.d"
+  "/root/repo/tests/test_workload_classifier.cc" "tests/CMakeFiles/fleetio_tests.dir/test_workload_classifier.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_workload_classifier.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/fleetio_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/fleetio_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fleetio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
