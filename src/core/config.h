@@ -7,6 +7,7 @@
 #define FLEETIO_CORE_CONFIG_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/rl/ppo.h"
@@ -78,6 +79,15 @@ struct FleetIoConfig
     /** Pick the fine-tuned alpha for a learned cluster id (0..2),
      *  or the unified alpha for unknown (-1). */
     double alphaForCluster(int cluster) const;
+
+    /**
+     * Sanity-check the configuration. @return an empty string when
+     * valid, otherwise a description of the first problem found. The
+     * controller calls this at setup and refuses to run on a bad
+     * config (a zero slo_vio_guar, say, would silently divide the
+     * reward by zero and feed NaN into PPO).
+     */
+    std::string validate() const;
 };
 
 }  // namespace fleetio

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "src/core/teacher.h"
 
@@ -17,6 +18,9 @@ FleetIoController::FleetIoController(const FleetIoConfig &cfg,
       admission_(gsb, eq, cfg_.admission_batch),
       extractor_(cfg_, vssds.device().geometry())
 {
+    const std::string err = cfg_.validate();
+    if (!err.empty())
+        throw std::invalid_argument("FleetIoConfig: " + err);
 }
 
 FleetIoAgent &

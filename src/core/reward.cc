@@ -2,8 +2,22 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace fleetio {
+
+namespace {
+/** PPO hygiene: one pathological window (division blow-up, corrupted
+ *  meter) must not dominate the advantage estimate or poison the
+ *  network with NaN/inf. */
+constexpr double kRewardClamp = 10.0;
+
+double
+sanitize(double v)
+{
+    return std::isfinite(v) ? v : 0.0;
+}
+}  // namespace
 
 double
 singleReward(double avg_bw_mbps, double bw_guar_mbps, double slo_vio,
@@ -11,10 +25,12 @@ singleReward(double avg_bw_mbps, double bw_guar_mbps, double slo_vio,
 {
     assert(alpha >= 0.0 && alpha <= 1.0);
     const double bw_term =
-        bw_guar_mbps > 0 ? avg_bw_mbps / bw_guar_mbps : 0.0;
+        bw_guar_mbps > 0 ? sanitize(avg_bw_mbps / bw_guar_mbps) : 0.0;
     const double vio_term =
-        slo_vio_guar > 0 ? slo_vio / slo_vio_guar : 0.0;
-    return (1.0 - alpha) * bw_term - alpha * vio_term;
+        slo_vio_guar > 0 ? sanitize(slo_vio / slo_vio_guar) : 0.0;
+    const double r = (1.0 - alpha) * bw_term - alpha * vio_term;
+    assert(std::isfinite(r));
+    return std::clamp(r, -kRewardClamp, kRewardClamp);
 }
 
 std::vector<double>
@@ -30,11 +46,12 @@ multiAgentRewards(const std::vector<double> &single_rewards, double beta)
     }
     double total = 0.0;
     for (double r : single_rewards)
-        total += r;
+        total += sanitize(r);
     for (std::size_t i = 0; i < n; ++i) {
-        const double others =
-            (total - single_rewards[i]) / double(n - 1);
-        out[i] = beta * single_rewards[i] + (1.0 - beta) * others;
+        const double mine = sanitize(single_rewards[i]);
+        const double others = (total - mine) / double(n - 1);
+        out[i] = beta * mine + (1.0 - beta) * others;
+        assert(std::isfinite(out[i]));
     }
     return out;
 }

@@ -61,6 +61,9 @@ calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
     // Solo run on a hardware-isolated share of the device.
     TestbedOptions solo = opts;
     solo.seed = 0xCA11B7A7Eull;  // calibration uses its own seed
+    // SLOs describe the *healthy* device: calibrate fault-free so an
+    // injected-fault sweep measures degradation against a fixed bar.
+    solo.faults = FaultConfig{};
     Testbed tb(solo);
     const auto &geo = tb.device().geometry();
     const auto split = ChannelAllocator::equalSplit(geo, num_tenants);
@@ -116,6 +119,12 @@ runExperiment(const ExperimentSpec &spec)
     res.avg_util = tb.avgUtilization();
     res.p95_util = tb.p95Utilization();
     res.write_amp = tb.device().writeAmplification();
+    res.faults = tb.faultCounters();
+    res.blocks_retired = tb.device().totalRetiredBlocks();
+    res.gsb_revokes = tb.gsb().revokedCount();
+    for (auto *v : tb.vssds().active()) {
+        res.program_fail_repairs += v->ftl().programFailRepairs();
+    }
     for (auto *v : tb.vssds().active()) {
         TenantResult t;
         t.workload = tb.workload(v->id()).name();

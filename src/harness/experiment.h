@@ -39,6 +39,12 @@ struct ExperimentResult
     double write_amp = 1.0;
     SimTime measured = 0;
 
+    /** Fault-injection outcome (all zero on a perfect device). */
+    FaultCounters faults{};
+    std::uint64_t blocks_retired = 0;
+    std::uint64_t program_fail_repairs = 0;
+    std::uint64_t gsb_revokes = 0;
+
     /** Sum of tenant bandwidths (MB/s). */
     double aggregateBwMBps() const;
 

@@ -115,7 +115,26 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
     t.print(os);
     os << "device util avg=" << fmtPercent(res.avg_util) << " p95="
        << fmtPercent(res.p95_util)
-       << " write-amp=" << fmtDouble(res.write_amp) << "\n\n";
+       << " write-amp=" << fmtDouble(res.write_amp) << "\n";
+    printFaultSummary(res, os);
+    os << '\n';
+}
+
+void
+printFaultSummary(const ExperimentResult &res, std::ostream &os)
+{
+    if (res.faults.total() == 0 && res.blocks_retired == 0 &&
+        res.program_fail_repairs == 0 && res.gsb_revokes == 0) {
+        return;
+    }
+    os << "faults: read-retries=" << res.faults.read_retries
+       << " (" << res.faults.reads_retried << " reads)"
+       << " program-fails=" << res.faults.program_failures
+       << " (repaired " << res.program_fail_repairs << ")"
+       << " erase-fails=" << res.faults.erase_failures
+       << " retired-blocks=" << res.blocks_retired
+       << " slowdowns=" << res.faults.slowdown_windows
+       << " gsb-revokes=" << res.gsb_revokes << '\n';
 }
 
 }  // namespace fleetio

@@ -49,6 +49,9 @@ void printExperimentSummary(const ExperimentResult &res,
 /** Detailed per-tenant table for an experiment. */
 void printExperimentDetail(const ExperimentResult &res, std::ostream &os);
 
+/** One-line fault-injection outcome; prints nothing on a clean run. */
+void printFaultSummary(const ExperimentResult &res, std::ostream &os);
+
 }  // namespace fleetio
 
 #endif  // FLEETIO_HARNESS_REPORTING_H

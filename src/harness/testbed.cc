@@ -7,6 +7,7 @@ namespace fleetio {
 
 Testbed::Testbed(const TestbedOptions &opts)
     : opts_(opts),
+      faults_(opts.faults),
       dev_(opts.geo, eq_),
       hbt_(opts.geo),
       vssds_(dev_, hbt_),
@@ -14,6 +15,10 @@ Testbed::Testbed(const TestbedOptions &opts)
       sched_(dev_, vssds_),
       tenant_seed_(opts.seed * 0x2545F4914F6CDD1Dull + 1)
 {
+    // Always installed: with all probabilities zero the injector never
+    // draws from its RNG, so fault-free runs stay bit-identical to a
+    // device without one.
+    dev_.setFaultInjector(&faults_);
     // Wire block-erase notifications from every tenant's GC into the
     // gSB manager so reclaimed gSBs shrink and eventually retire.
     vssds_.setOnErased([this](ChannelId ch, ChipId chip, BlockId blk) {

@@ -43,6 +43,10 @@ struct TestbedOptions
     /** Fraction of each tenant's logical space pre-filled before the
      *  run so GC is active (paper §4.1: >= 50 % of free blocks). */
     double warmup_fill = 0.5;
+
+    /** Fault-injection knobs. All probabilities default to zero, which
+     *  keeps every run bit-identical to a fault-free device. */
+    FaultConfig faults{};
 };
 
 /**
@@ -63,6 +67,10 @@ class Testbed
     GsbManager &gsb() { return gsb_; }
     IoScheduler &scheduler() { return sched_; }
     const TestbedOptions &options() const { return opts_; }
+
+    /** The device's fault oracle (inert when all probabilities are 0). */
+    FaultInjector &faults() { return faults_; }
+    const FaultCounters &faultCounters() const { return faults_.counters(); }
 
     /**
      * Create a tenant: a vSSD on @p channels with @p quota blocks and
@@ -111,6 +119,7 @@ class Testbed
 
     TestbedOptions opts_;
     EventQueue eq_;
+    FaultInjector faults_;
     FlashDevice dev_;
     HarvestedBlockTable hbt_;
     VssdManager vssds_;

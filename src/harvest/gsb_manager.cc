@@ -9,6 +9,16 @@ namespace fleetio {
 namespace {
 /** §3.6: no gSB creation on channels with less than 25 % free blocks. */
 constexpr double kMinFreeRatioForGsb = 0.25;
+
+/** Graceful degradation: channels whose retired-block density reaches
+ *  this fraction stop hosting new gSBs (their shrunken pool should
+ *  serve the owning tenants, not donations). */
+constexpr double kMaxRetiredDensityForGsb = 0.10;
+
+/** Donor-pressure revoke threshold: half the GC trigger (0.20), so a
+ *  home whose free quota collapses despite GC claws donations back
+ *  before it wedges at zero free blocks. */
+constexpr double kDonorPressureRatio = 0.10;
 }
 
 GsbManager::GsbManager(FlashDevice &dev, VssdManager &vssds)
@@ -76,6 +86,7 @@ GsbManager::createGsb(Vssd &home, std::uint32_t n_chls)
     std::vector<ChannelId> candidates;
     for (ChannelId ch : home.ftl().channels()) {
         if (dev_.freeRatio(ch) >= kMinFreeRatioForGsb &&
+            dev_.retiredRatio(ch) < kMaxRetiredDensityForGsb &&
             dev_.freeBlocksInChannel(ch) >= blocks_per_ch) {
             candidates.push_back(ch);
         }
@@ -101,13 +112,17 @@ GsbManager::createGsb(Vssd &home, std::uint32_t n_chls)
         return nullptr;
 
     Superblock sb(dev_);
+    std::uint32_t added = 0;
     for (std::uint32_t i = 0; i < n_chls; ++i) {
-        const bool ok = sb.addStripe(candidates[i], blocks_per_ch,
-                                     home.id());
-        assert(ok);
-        (void)ok;
+        // addStripe is all-or-nothing per channel; a failure (the free
+        // count shifted since the candidate scan) just drops that
+        // channel from the gSB instead of aborting the donation.
+        if (sb.addStripe(candidates[i], blocks_per_ch, home.id()))
+            ++added;
     }
-    home.ftl().chargeDonatedBlocks(need);
+    if (added == 0)
+        return nullptr;
+    home.ftl().chargeDonatedBlocks(std::uint64_t(added) * blocks_per_ch);
 
     auto gsb = std::make_unique<Gsb>(next_id_++, std::move(sb),
                                      home.id());
@@ -187,11 +202,68 @@ GsbManager::eraseGsbRecord(GsbId id)
     gsbs_.erase(id);
 }
 
+bool
+GsbManager::revokeUnderPressure(VssdId home_id)
+{
+    Vssd *home = vssds_.get(home_id);
+    if (home == nullptr)
+        return false;
+    if (home->ftl().freeQuotaRatio() >= kDonorPressureRatio)
+        return false;
+
+    bool revoked_any = false;
+
+    // Phase 1: destroy unharvested pool gSBs. Pure metadata — blocks
+    // return to the free pool instantly, so this works even when the
+    // home is wedged at zero free blocks and GC cannot find a
+    // relocation target.
+    std::vector<Gsb *> pool_gsbs;
+    for (auto &[id, g] : gsbs_) {
+        if (g->homeVssd() == home_id && !g->reclaiming() && !g->inUse())
+            pool_gsbs.push_back(g.get());
+    }
+    for (Gsb *g : pool_gsbs) {
+        if (!pool_.remove(g))
+            continue;
+        destroyUnharvestedAfterPoolRemove(g);
+        ++revoked_;
+        revoked_any = true;
+        if (home->ftl().freeQuotaRatio() >= kDonorPressureRatio)
+            return true;
+    }
+
+    // Phase 2: still under pressure — reclaim in-use gSBs lazily.
+    // Detaching the harvester's write path is immediate; the blocks
+    // drain back through the home GC's HBT-prioritized victims.
+    std::vector<Gsb *> in_use;
+    for (auto &[id, g] : gsbs_) {
+        if (g->homeVssd() == home_id && !g->reclaiming() && g->inUse())
+            in_use.push_back(g.get());
+    }
+    // Emptiest first: cheapest copyback frees quota soonest.
+    std::sort(in_use.begin(), in_use.end(), [this](Gsb *a, Gsb *b) {
+        return a->validPages(dev_) < b->validPages(dev_);
+    });
+    for (Gsb *g : in_use) {
+        reclaimLazily(g);
+        ++revoked_;
+        revoked_any = true;
+    }
+    if (revoked_any)
+        home->gc().requestReclaim();
+    return revoked_any;
+}
+
 void
 GsbManager::makeHarvestable(VssdId home_id, double gsb_bw_mbps)
 {
     Vssd *home = vssds_.get(home_id);
     if (home == nullptr)
+        return;
+
+    // Graceful degradation: a donor in capacity distress reclaims its
+    // donations before reconciling toward any new harvestable level.
+    if (revokeUnderPressure(home_id))
         return;
 
     const std::uint32_t target = bwToChannels(gsb_bw_mbps);

@@ -72,10 +72,24 @@ class GsbManager
      */
     void onBlockErased(ChannelId ch, ChipId chip, BlockId blk);
 
+    /**
+     * Donor-pressure revoke: when @p home's free quota collapses (e.g.
+     * block retirements under faults shrank its pool), forcibly take
+     * donated capacity back — unharvested pool gSBs are destroyed
+     * immediately (metadata-only, works even at zero free blocks),
+     * then in-use gSBs are reclaimed lazily until the pressure clears.
+     * Called automatically from makeHarvestable; safe to call any time.
+     * @return true when a revoke happened.
+     */
+    bool revokeUnderPressure(VssdId home);
+
     /** Telemetry: gSBs created / harvested / reclaimed so far. */
     std::uint64_t createdCount() const { return created_; }
     std::uint64_t harvestedCount() const { return harvested_; }
     std::uint64_t reclaimedCount() const { return reclaimed_; }
+
+    /** gSBs forcibly taken back by donor-pressure revokes. */
+    std::uint64_t revokedCount() const { return revoked_; }
 
   private:
     std::uint64_t blockKey(ChannelId ch, ChipId chip, BlockId blk) const;
@@ -95,6 +109,7 @@ class GsbManager
     std::uint64_t created_ = 0;
     std::uint64_t harvested_ = 0;
     std::uint64_t reclaimed_ = 0;
+    std::uint64_t revoked_ = 0;
 };
 
 }  // namespace fleetio

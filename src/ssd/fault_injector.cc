@@ -1,0 +1,75 @@
+#include "src/ssd/fault_injector.h"
+
+#include <algorithm>
+
+namespace fleetio {
+
+namespace {
+/** Ceiling on any effective fault probability: even a worn-out block
+ *  succeeds sometimes, so retry loops always terminate. */
+constexpr double kMaxEffectiveProb = 0.95;
+}
+
+FaultInjector::FaultInjector(const FaultConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+double
+FaultInjector::effective(double base, const FlashBlock &blk) const
+{
+    const double p =
+        base + cfg_.wear_error_growth * double(blk.erase_count);
+    return std::clamp(p, 0.0, kMaxEffectiveProb);
+}
+
+std::uint32_t
+FaultInjector::readRetries(const FlashBlock &blk)
+{
+    const double p = effective(cfg_.read_retry_prob, blk);
+    if (p <= 0.0)
+        return 0;
+    // Each retry re-reads with a stronger read-reference voltage and
+    // succeeds independently: geometric tail, bounded by the config.
+    std::uint32_t retries = 0;
+    while (retries < cfg_.max_read_retries && rng_.bernoulli(p))
+        ++retries;
+    if (retries > 0) {
+        ++counters_.reads_retried;
+        counters_.read_retries += retries;
+    }
+    return retries;
+}
+
+bool
+FaultInjector::programFails(const FlashBlock &blk)
+{
+    const double p = effective(cfg_.program_fail_prob, blk);
+    if (p <= 0.0 || !rng_.bernoulli(p))
+        return false;
+    ++counters_.program_failures;
+    return true;
+}
+
+bool
+FaultInjector::eraseFails(const FlashBlock &blk)
+{
+    const double p = effective(cfg_.erase_fail_prob, blk);
+    if (p <= 0.0 || !rng_.bernoulli(p))
+        return false;
+    ++counters_.erase_failures;
+    return true;
+}
+
+bool
+FaultInjector::chipSlowdownBegins()
+{
+    if (cfg_.chip_slowdown_prob <= 0.0 ||
+        !rng_.bernoulli(cfg_.chip_slowdown_prob)) {
+        return false;
+    }
+    ++counters_.slowdown_windows;
+    return true;
+}
+
+}  // namespace fleetio

@@ -61,6 +61,8 @@ FlashChip::eraseBlock(BlockId b)
 {
     FlashBlock &blk = blocks_[b];
     assert(blk.state != BlockState::kFree);
+    assert(blk.state != BlockState::kRetired &&
+           "retired blocks must never be erased back into service");
     blk.state = BlockState::kFree;
     blk.owner = kNoVssd;
     blk.write_ptr = 0;
@@ -90,12 +92,38 @@ FlashChip::closeBlock(BlockId b)
         blk.state = BlockState::kFull;
 }
 
+void
+FlashChip::retireBlock(BlockId b)
+{
+    FlashBlock &blk = blocks_[b];
+    assert(blk.state != BlockState::kRetired && "double retirement");
+    if (blk.state == BlockState::kFree) {
+        assert(free_blocks_ > 0);
+        --free_blocks_;
+    }
+    blk.state = BlockState::kRetired;
+    blk.owner = kNoVssd;
+    blk.write_ptr = 0;
+    blk.valid_count = 0;
+    std::fill(blk.valid.begin(), blk.valid.end(), false);
+    bad_blocks_.push_back(b);
+}
+
 SimTime
 FlashChip::reserve(SimTime earliest, SimTime duration)
 {
     const SimTime start = std::max(earliest, busy_until_);
+    if (start < slow_until_)
+        duration = SimTime(double(duration) * slow_factor_);
     busy_until_ = start + duration;
     return busy_until_;
+}
+
+void
+FlashChip::beginSlowdown(SimTime until, double factor)
+{
+    slow_until_ = std::max(slow_until_, until);
+    slow_factor_ = factor > 1.0 ? factor : 1.0;
 }
 
 }  // namespace fleetio

@@ -19,6 +19,7 @@ enum class BlockState : std::uint8_t {
     kFree = 0,   ///< erased, no owner
     kOpen,       ///< owned, accepting sequential page programs
     kFull,       ///< owned, fully written
+    kRetired,    ///< failed erase/program: permanently out of service
 };
 
 /**
@@ -98,11 +99,39 @@ class FlashChip
     void closeBlock(BlockId b);
 
     /**
+     * Take @p b permanently out of service after a program/erase
+     * failure: it enters kRetired, joins the bad-block table, and is
+     * excluded from freeBlocks() accounting forever. Valid bits are
+     * cleared — callers must have migrated or invalidated live data
+     * first.
+     * @pre the block is not already retired.
+     */
+    void retireBlock(BlockId b);
+
+    /** Blocks retired so far on this chip. */
+    std::uint32_t retiredBlocks() const
+    {
+        return std::uint32_t(bad_blocks_.size());
+    }
+
+    /** The bad-block table: every retired block id, in retirement
+     *  order. */
+    const std::vector<BlockId> &badBlocks() const { return bad_blocks_; }
+
+    /**
      * Reserve the chip for an operation of @p duration starting no
-     * earlier than @p earliest.
+     * earlier than @p earliest. Operations starting inside a slow-down
+     * window are stretched by the window's latency factor.
      * @return the operation's [start, end) interval end.
      */
     SimTime reserve(SimTime earliest, SimTime duration);
+
+    /** Enter a slow-down window lasting until @p until; operations
+     *  started before then take @p factor times longer. */
+    void beginSlowdown(SimTime until, double factor);
+
+    /** End of the current slow-down window (0 when never slowed). */
+    SimTime slowUntil() const { return slow_until_; }
 
     /** Time at which the chip becomes idle. */
     SimTime busyUntil() const { return busy_until_; }
@@ -113,8 +142,11 @@ class FlashChip
   private:
     const SsdGeometry &geo_;
     std::vector<FlashBlock> blocks_;
+    std::vector<BlockId> bad_blocks_;
     std::uint32_t free_blocks_;
     SimTime busy_until_ = 0;
+    SimTime slow_until_ = 0;
+    double slow_factor_ = 1.0;
     std::uint64_t total_erases_ = 0;
 };
 

@@ -28,6 +28,16 @@ FlashDevice::chip(ChannelId ch, ChipId c) const
     return chips_[std::size_t(ch) * geo_.chips_per_channel + c];
 }
 
+void
+FlashDevice::maybeSlowDown(FlashChip &chp)
+{
+    if (injector_ != nullptr && injector_->chipSlowdownBegins()) {
+        const FaultConfig &fc = injector_->config();
+        chp.beginSlowdown(eq_.now() + fc.chip_slowdown_window,
+                          fc.chip_slowdown_factor);
+    }
+}
+
 SimTime
 FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
 {
@@ -35,9 +45,19 @@ FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
     const ChipId cp = geo_.chipOf(ppa);
     Channel &chan = channels_[ch];
     FlashChip &chp = chip(ch, cp);
+    maybeSlowDown(chp);
 
-    // Array read on the chip, then transfer over the bus.
-    const SimTime read_done = chp.reserve(eq_.now(), geo_.read_latency);
+    // Array read on the chip, then transfer over the bus. A read that
+    // needs retries re-runs the array read with escalating latency
+    // (retry k re-tunes the read reference and costs (k+1) x tR),
+    // bounded by the injector's max_read_retries.
+    SimTime array_time = geo_.read_latency;
+    if (injector_ != nullptr) {
+        const std::uint32_t retries = injector_->readRetries(blockOf(ppa));
+        for (std::uint32_t k = 1; k <= retries; ++k)
+            array_time += geo_.read_latency * (k + 1);
+    }
+    const SimTime read_done = chp.reserve(eq_.now(), array_time);
     const SimTime xfer = geo_.pageTransferTime();
     const SimTime complete = chan.reserveBus(read_done, xfer);
     chan.accountBusy(xfer);
@@ -64,6 +84,7 @@ FlashDevice::issueProgramImpl(Ppa ppa, Callback done, bool host)
     const ChipId cp = geo_.chipOf(ppa);
     Channel &chan = channels_[ch];
     FlashChip &chp = chip(ch, cp);
+    maybeSlowDown(chp);
 
     // Transfer over the bus, then program into the array. The channel
     // dispatch slot frees once the bus transfer ends — the program
@@ -120,6 +141,7 @@ SimTime
 FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
 {
     FlashChip &chp = chip(ch, cp);
+    maybeSlowDown(chp);
     const SimTime complete = chp.reserve(eq_.now(), geo_.erase_latency);
     ++erases_;
     eq_.scheduleAt(complete, [cb = std::move(done)]() {
@@ -147,10 +169,36 @@ FlashDevice::allocateBlock(ChannelId ch, VssdId owner, ChipId &chip_out,
     if (best_free == 0)
         return false;
     const BlockId blk = chip(ch, best).allocateBlock(owner);
-    assert(blk != UINT32_MAX);
+    assert(blk != UINT32_MAX &&
+           "freeBlocks() promised a free block on the chosen chip");
     chip_out = best;
     blk_out = blk;
     return true;
+}
+
+std::uint64_t
+FlashDevice::totalRetiredBlocks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : chips_)
+        total += c.retiredBlocks();
+    return total;
+}
+
+std::uint32_t
+FlashDevice::retiredBlocksInChannel(ChannelId ch) const
+{
+    std::uint32_t total = 0;
+    for (ChipId c = 0; c < geo_.chips_per_channel; ++c)
+        total += chip(ch, c).retiredBlocks();
+    return total;
+}
+
+double
+FlashDevice::retiredRatio(ChannelId ch) const
+{
+    return double(retiredBlocksInChannel(ch)) /
+           double(geo_.blocksPerChannel());
 }
 
 std::uint32_t

@@ -14,6 +14,7 @@
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
 #include "src/ssd/channel.h"
+#include "src/ssd/fault_injector.h"
 #include "src/ssd/flash_chip.h"
 #include "src/ssd/geometry.h"
 
@@ -102,6 +103,27 @@ class FlashDevice
         on_slot_freed_ = std::move(cb);
     }
 
+    // --- Fault injection -----------------------------------------------
+
+    /**
+     * Install a fault oracle (nullptr = perfect device, the default).
+     * Reads consult it for retry counts (each retry re-occupies the
+     * chip with escalating latency), every chip operation may open a
+     * slow-down window, and the FTL/GC consult it for program/erase
+     * failures through this accessor.
+     */
+    void setFaultInjector(FaultInjector *fi) { injector_ = fi; }
+    FaultInjector *faultInjector() { return injector_; }
+
+    /** Blocks retired (bad-block tables) across the whole device. */
+    std::uint64_t totalRetiredBlocks() const;
+
+    /** Retired blocks on one channel. */
+    std::uint32_t retiredBlocksInChannel(ChannelId ch) const;
+
+    /** Retired-block fraction of a channel in [0,1]. */
+    double retiredRatio(ChannelId ch) const;
+
     // --- Block pool ---------------------------------------------------
 
     /**
@@ -168,8 +190,12 @@ class FlashDevice
     SimTime issueReadImpl(Ppa ppa, Callback done, bool host);
     SimTime issueProgramImpl(Ppa ppa, Callback done, bool host);
 
+    /** Consult the injector for a slow-down window on @p chp. */
+    void maybeSlowDown(FlashChip &chp);
+
     SsdGeometry geo_;
     EventQueue &eq_;
+    FaultInjector *injector_ = nullptr;
     std::function<void(ChannelId)> on_slot_freed_;
     std::vector<Channel> channels_;
     std::vector<FlashChip> chips_;  // [channel * chips_per_channel + chip]

@@ -55,6 +55,27 @@ Ftl::ensureOpen(OpenPoint &pt)
 }
 
 bool
+Ftl::programWithFaultCheck(OpenPoint &pt, Ppa &out)
+{
+    FlashChip &chp = dev_->chip(pt.channel, pt.chip);
+    const PageId pg = chp.programNextPage(pt.block);
+    FaultInjector *fi = dev_->faultInjector();
+    if (fi != nullptr && fi->programFails(chp.block(pt.block))) {
+        // Program failure: the page is dead (it stays a hole in the
+        // block) and the block stops taking new data. The caller
+        // re-allocates on another write point and remaps the LPA
+        // there, so no mapping is ever lost.
+        chp.invalidatePage(pt.block, pg);
+        chp.closeBlock(pt.block);
+        pt.valid = false;
+        ++program_fail_repairs_;
+        return false;
+    }
+    out = dev_->geometry().makePpa(pt.channel, pt.chip, pt.block, pg);
+    return true;
+}
+
+bool
 Ftl::allocateOwnPage(Ppa &out)
 {
     if (open_points_.empty())
@@ -69,9 +90,13 @@ Ftl::allocateOwnPage(Ppa &out)
         OpenPoint &pt = open_points_[i];
         if (!ensureOpen(pt))
             continue;
-        FlashChip &chp = dev_->chip(pt.channel, pt.chip);
-        const PageId pg = chp.programNextPage(pt.block);
-        out = dev_->geometry().makePpa(pt.channel, pt.chip, pt.block, pg);
+        if (!programWithFaultCheck(pt, out)) {
+            // Re-program on the same point first (a fresh block on the
+            // same chip keeps the striping even); fall through to the
+            // next point when the chip is out of blocks or fails again.
+            if (!ensureOpen(pt) || !programWithFaultCheck(pt, out))
+                continue;
+        }
         rr_cursor_ = (i + 1) % n;
         return true;
     }
@@ -199,35 +224,37 @@ Ftl::allocateFallback(Ppa &out)
                                     relo_point_.chip);
         const FlashBlock &blk = chp.block(relo_point_.block);
         if (blk.state == BlockState::kOpen &&
-            !blk.isFull(geo.pages_per_block)) {
-            const PageId pg = chp.programNextPage(relo_point_.block);
-            out = geo.makePpa(relo_point_.channel, relo_point_.chip,
-                              relo_point_.block, pg);
+            !blk.isFull(geo.pages_per_block) &&
+            programWithFaultCheck(relo_point_, out)) {
             return true;
         }
         relo_point_.valid = false;
     }
-    ChannelId best = geo.num_channels;
-    std::uint32_t best_free = 0;
-    for (ChannelId ch = 0; ch < geo.num_channels; ++ch) {
-        const std::uint32_t f = dev_->freeBlocksInChannel(ch);
-        if (f > best_free) {
-            best_free = f;
-            best = ch;
+    // A program failure condemns the fresh block too, so retry a
+    // bounded number of fresh allocations before giving up.
+    constexpr int kMaxFallbackAttempts = 4;
+    for (int attempt = 0; attempt < kMaxFallbackAttempts; ++attempt) {
+        ChannelId best = geo.num_channels;
+        std::uint32_t best_free = 0;
+        for (ChannelId ch = 0; ch < geo.num_channels; ++ch) {
+            const std::uint32_t f = dev_->freeBlocksInChannel(ch);
+            if (f > best_free) {
+                best_free = f;
+                best = ch;
+            }
         }
+        if (best == geo.num_channels)
+            return false;
+        ChipId chip;
+        BlockId blk;
+        if (!dev_->allocateBlock(best, cfg_.vssd, chip, blk))
+            return false;
+        ++blocks_used_;
+        relo_point_ = OpenPoint{best, chip, blk, true};
+        if (programWithFaultCheck(relo_point_, out))
+            return true;
     }
-    if (best == geo.num_channels)
-        return false;
-    ChipId chip;
-    BlockId blk;
-    if (!dev_->allocateBlock(best, cfg_.vssd, chip, blk))
-        return false;
-    ++blocks_used_;
-    relo_point_ = OpenPoint{best, chip, blk, true};
-    FlashChip &chp = dev_->chip(best, chip);
-    const PageId pg = chp.programNextPage(blk);
-    out = geo.makePpa(best, chip, blk, pg);
-    return true;
+    return false;
 }
 
 void

@@ -126,6 +126,14 @@ class Ftl
     std::uint64_t blocksUsed() const { return blocks_used_; }
     std::uint64_t livePages() const { return live_pages_; }
 
+    /** Page programs that failed under fault injection and were
+     *  recovered by re-allocating elsewhere (the LPA is remapped to
+     *  the replacement page; no mapping is ever lost). */
+    std::uint64_t programFailRepairs() const
+    {
+        return program_fail_repairs_;
+    }
+
     /** Free fraction of the block quota, in [0,1]. */
     double freeQuotaRatio() const;
 
@@ -147,6 +155,14 @@ class Ftl
     /** Get or open the write block of one (channel, chip) point. */
     bool ensureOpen(OpenPoint &pt);
     bool allocateOwnPage(Ppa &out);
+    /**
+     * Program the next page of @p pt's open block, absorbing injected
+     * program failures: a failed page is invalidated, its block closed
+     * (NAND practice — a program failure condemns the whole block for
+     * new data), and the caller re-allocates at another write point.
+     * @retval true @p out holds a successfully programmed page.
+     */
+    bool programWithFaultCheck(OpenPoint &pt, Ppa &out);
     /** Device-wide overflow placement (quota-charged): used when the
      *  own channels are physically out of free blocks, by both GC
      *  relocation and host writes (capacity is a device-global
@@ -165,6 +181,7 @@ class Ftl
     std::vector<ExternalWriteSource *> externals_;
     std::uint64_t blocks_used_ = 0;
     std::uint64_t live_pages_ = 0;
+    std::uint64_t program_fail_repairs_ = 0;
     std::size_t rr_cursor_ = 0;       ///< rotation across write points
     std::uint64_t stripe_counter_ = 0;  ///< own/external striping
 };

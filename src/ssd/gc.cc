@@ -182,14 +182,27 @@ GcEngine::finishBlock()
     dev_->issueErase(v.ch, v.chip, [this, v, gen]() {
         if (gen != job_gen_)
             return;
-        dev_->chip(v.ch, v.chip).eraseBlock(v.blk);
+        FlashChip &chp = dev_->chip(v.ch, v.chip);
+        FaultInjector *fi = dev_->faultInjector();
+        if (fi != nullptr && fi->eraseFails(chp.block(v.blk))) {
+            // Erase failure: the block goes to the bad-block table
+            // instead of the free pool. All valid pages were already
+            // migrated, so no mapping is lost; the quota ledger still
+            // gets the block back (it left the vSSD's service).
+            chp.retireBlock(v.blk);
+            ++blocks_retired_;
+        } else {
+            chp.eraseBlock(v.blk);
+            ++blocks_reclaimed_;
+        }
         hbt_->clear(v.ch, v.chip, v.blk);
         home_->onBlocksReclaimed(1);
-        ++blocks_reclaimed_;
         if (hooks_.on_erased)
             hooks_.on_erased(v.ch, v.chip, v.blk);
         active_ = false;
-        // Continue while pressure or reclaim requests persist.
+        // Continue while pressure or reclaim requests persist. A
+        // retirement shrinks the physical pool, so this re-trigger is
+        // what keeps the free-block ratio above water under faults.
         if (hbt_->markedCount() == 0)
             reclaim_requests_ = false;
         maybeStart();

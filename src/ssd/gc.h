@@ -64,6 +64,9 @@ class GcEngine
     /** Lifetime blocks reclaimed. */
     std::uint64_t blocksReclaimed() const { return blocks_reclaimed_; }
 
+    /** Victims whose erase failed and were retired instead of freed. */
+    std::uint64_t blocksRetired() const { return blocks_retired_; }
+
     /** Lifetime pages migrated (GC write amplification numerator). */
     std::uint64_t pagesMigrated() const { return pages_migrated_; }
 
@@ -99,6 +102,7 @@ class GcEngine
     std::uint64_t job_gen_ = 0;  ///< invalidates stale in-flight events
 
     std::uint64_t blocks_reclaimed_ = 0;
+    std::uint64_t blocks_retired_ = 0;
     std::uint64_t pages_migrated_ = 0;
 };
 

@@ -17,9 +17,15 @@ Superblock::addStripe(ChannelId ch, std::uint32_t blocks_per_channel,
     for (std::uint32_t i = 0; i < blocks_per_channel; ++i) {
         ChipId chip;
         BlockId blk;
-        const bool ok = dev_->allocateBlock(ch, owner, chip, blk);
-        assert(ok);
-        (void)ok;
+        if (!dev_->allocateBlock(ch, owner, chip, blk)) {
+            // The channel ran out mid-stripe (should not happen after
+            // the free-count check above, but block retirement makes
+            // the pool shrinkable): roll the partial stripe back so
+            // the caller sees a clean all-or-nothing failure.
+            for (const auto &[c, b] : s.blocks)
+                dev_->chip(ch, c).releaseBlock(b);
+            return false;
+        }
         s.blocks.emplace_back(chip, blk);
     }
     stripes_.push_back(std::move(s));

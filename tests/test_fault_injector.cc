@@ -1,0 +1,148 @@
+/** @file Unit tests for the seeded NAND fault injector. */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ssd/fault_injector.h"
+
+namespace fleetio {
+namespace {
+
+TEST(FaultInjectorTest, DefaultConfigIsInert)
+{
+    FaultInjector fi;
+    EXPECT_FALSE(fi.enabled());
+    FlashBlock blk;
+    blk.erase_count = 1000;
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(fi.readRetries(blk), 0u);
+        EXPECT_FALSE(fi.programFails(blk));
+        EXPECT_FALSE(fi.eraseFails(blk));
+        EXPECT_FALSE(fi.chipSlowdownBegins());
+    }
+    EXPECT_EQ(fi.counters().total(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultSequence)
+{
+    FaultConfig cfg;
+    cfg.read_retry_prob = 0.3;
+    cfg.program_fail_prob = 0.2;
+    cfg.erase_fail_prob = 0.1;
+    cfg.chip_slowdown_prob = 0.05;
+    FaultInjector a(cfg);
+    FaultInjector b(cfg);
+    FlashBlock blk;
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.readRetries(blk), b.readRetries(blk));
+        EXPECT_EQ(a.programFails(blk), b.programFails(blk));
+        EXPECT_EQ(a.eraseFails(blk), b.eraseFails(blk));
+        EXPECT_EQ(a.chipSlowdownBegins(), b.chipSlowdownBegins());
+    }
+    EXPECT_EQ(a.counters().read_retries, b.counters().read_retries);
+    EXPECT_EQ(a.counters().program_failures,
+              b.counters().program_failures);
+    EXPECT_EQ(a.counters().erase_failures, b.counters().erase_failures);
+    EXPECT_GT(a.counters().total(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSequence)
+{
+    FaultConfig cfg;
+    cfg.read_retry_prob = 0.5;
+    FaultConfig other = cfg;
+    other.seed = cfg.seed + 1;
+    FaultInjector a(cfg);
+    FaultInjector b(other);
+    FlashBlock blk;
+    bool diverged = false;
+    for (int i = 0; i < 200 && !diverged; ++i)
+        diverged = a.readRetries(blk) != b.readRetries(blk);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, RetriesBoundedByMax)
+{
+    FaultConfig cfg;
+    cfg.read_retry_prob = 0.99;
+    cfg.max_read_retries = 3;
+    FaultInjector fi(cfg);
+    FlashBlock blk;
+    std::uint32_t seen_max = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint32_t r = fi.readRetries(blk);
+        EXPECT_LE(r, 3u);
+        seen_max = std::max(seen_max, r);
+    }
+    EXPECT_EQ(seen_max, 3u);  // p=0.99 certainly hits the cap
+}
+
+TEST(FaultInjectorTest, WearRaisesFailureRate)
+{
+    FaultConfig cfg;
+    cfg.program_fail_prob = 0.01;
+    cfg.wear_error_growth = 1e-3;
+    FaultInjector fi(cfg);
+    FlashBlock young;
+    young.erase_count = 0;
+    FlashBlock old;
+    old.erase_count = 500;  // effective p = 0.01 + 0.5 = 0.51
+
+    int young_fails = 0, old_fails = 0;
+    for (int i = 0; i < 2000; ++i) {
+        if (fi.programFails(young))
+            ++young_fails;
+        if (fi.programFails(old))
+            ++old_fails;
+    }
+    EXPECT_LT(young_fails, 100);  // ~1 %
+    EXPECT_GT(old_fails, 800);    // ~51 %
+}
+
+TEST(FaultInjectorTest, EffectiveProbabilityIsClampedBelowOne)
+{
+    FaultConfig cfg;
+    cfg.read_retry_prob = 0.5;
+    cfg.wear_error_growth = 1.0;  // absurd wear: clamp must kick in
+    cfg.max_read_retries = 4;
+    FaultInjector fi(cfg);
+    FlashBlock blk;
+    blk.erase_count = 100000;
+    // Clamped to 0.95 < 1: a clean read (0 retries) remains possible.
+    bool saw_clean = false;
+    for (int i = 0; i < 2000 && !saw_clean; ++i)
+        saw_clean = fi.readRetries(blk) == 0;
+    EXPECT_TRUE(saw_clean);
+}
+
+TEST(FaultInjectorTest, CountersTallyEachFaultClass)
+{
+    FaultConfig cfg;
+    cfg.read_retry_prob = 1.0 - 1e-12;  // effectively always
+    cfg.max_read_retries = 2;
+    cfg.program_fail_prob = 0.5;
+    cfg.erase_fail_prob = 0.5;
+    cfg.chip_slowdown_prob = 0.5;
+    FaultInjector fi(cfg);
+    FlashBlock blk;
+    std::uint64_t retries = 0, retried = 0, prog = 0, erase = 0,
+                  slow = 0;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint32_t r = fi.readRetries(blk);
+        retries += r;
+        retried += r > 0 ? 1 : 0;
+        prog += fi.programFails(blk) ? 1 : 0;
+        erase += fi.eraseFails(blk) ? 1 : 0;
+        slow += fi.chipSlowdownBegins() ? 1 : 0;
+    }
+    EXPECT_EQ(fi.counters().read_retries, retries);
+    EXPECT_EQ(fi.counters().reads_retried, retried);
+    EXPECT_EQ(fi.counters().program_failures, prog);
+    EXPECT_EQ(fi.counters().erase_failures, erase);
+    EXPECT_EQ(fi.counters().slowdown_windows, slow);
+    EXPECT_GT(retried, 90u);
+    EXPECT_GT(prog, 20u);
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -41,6 +41,48 @@ TEST_F(FlashChipTest, AllocateFailsWhenExhausted)
     EXPECT_EQ(chip_.freeBlocks(), 0u);
 }
 
+TEST_F(FlashChipTest, RetireRemovesBlockFromServiceForever)
+{
+    // Retire a free block: the free pool shrinks and the bad-block
+    // table records it.
+    chip_.retireBlock(0);
+    EXPECT_EQ(chip_.block(0).state, BlockState::kRetired);
+    EXPECT_EQ(chip_.freeBlocks(), geo_.blocks_per_chip - 1);
+    EXPECT_EQ(chip_.retiredBlocks(), 1u);
+    ASSERT_EQ(chip_.badBlocks().size(), 1u);
+    EXPECT_EQ(chip_.badBlocks()[0], 0u);
+
+    // Retire a full (in-service) block: free count is unaffected.
+    const BlockId b = chip_.allocateBlock(1);
+    ASSERT_NE(b, UINT32_MAX);
+    chip_.programNextPage(b);
+    chip_.closeBlock(b);
+    const std::uint32_t free_before = chip_.freeBlocks();
+    chip_.retireBlock(b);
+    EXPECT_EQ(chip_.freeBlocks(), free_before);
+    EXPECT_EQ(chip_.retiredBlocks(), 2u);
+    EXPECT_EQ(chip_.block(b).valid_count, 0u);
+
+    // Retired blocks are never handed out again.
+    std::uint32_t handed = 0;
+    while (chip_.allocateBlock(2) != UINT32_MAX)
+        ++handed;
+    EXPECT_EQ(handed, geo_.blocks_per_chip - 2);
+}
+
+TEST_F(FlashChipTest, SlowdownStretchesOperationsInsideWindow)
+{
+    // 4x factor until t=1000: an op of 100 starting at 0 takes 400.
+    chip_.beginSlowdown(1000, 4.0);
+    EXPECT_EQ(chip_.slowUntil(), 1000u);
+    EXPECT_EQ(chip_.reserve(0, 100), 400u);
+    // An op starting after the window runs at full speed.
+    EXPECT_EQ(chip_.reserve(2000, 100), 2100u);
+    // Windows only ever extend, never shrink.
+    chip_.beginSlowdown(500, 4.0);
+    EXPECT_EQ(chip_.slowUntil(), 1000u);
+}
+
 TEST_F(FlashChipTest, SequentialProgrammingFillsBlock)
 {
     const BlockId b = chip_.allocateBlock(1);

@@ -220,6 +220,82 @@ class FakeSource : public ExternalWriteSource
     BlockId blk_ = 0;
 };
 
+TEST_F(FtlTest, ProgramFailureRemapsWithoutLosingMapping)
+{
+    // Modest rate: each failure permanently burns a block (closed with
+    // a dead page), and the fixture's quota has to outlast the burn.
+    FaultConfig fc;
+    fc.program_fail_prob = 0.1;
+    FaultInjector fi(fc);
+    dev_.setFaultInjector(&fi);
+
+    const Lpa span = 300;
+    for (Lpa lpa = 0; lpa < span; ++lpa) {
+        Ppa ppa;
+        ASSERT_TRUE(ftl_.allocateWrite(lpa, ppa));
+        EXPECT_EQ(ftl_.lookup(lpa), ppa);
+    }
+    // Failures occurred and every one was repaired by re-allocating.
+    EXPECT_GT(fi.counters().program_failures, 0u);
+    EXPECT_EQ(ftl_.programFailRepairs(),
+              fi.counters().program_failures);
+
+    // No mapping lost: every LPA resolves to a valid page whose
+    // reverse map points straight back.
+    for (Lpa lpa = 0; lpa < span; ++lpa) {
+        const Ppa ppa = ftl_.lookup(lpa);
+        ASSERT_NE(ppa, kNoPpa);
+        EXPECT_TRUE(dev_.blockOf(ppa).valid[geo_.pageOf(ppa)]);
+        EXPECT_EQ(dev_.rmap(ppa).lpa, lpa);
+        EXPECT_EQ(dev_.rmap(ppa).data_vssd, 0u);
+    }
+    dev_.setFaultInjector(nullptr);
+}
+
+TEST_F(FtlTest, ProgramFailureClosesTheFailedBlock)
+{
+    FaultConfig fc;
+    fc.program_fail_prob = 1.0;  // clamped to 0.95: extreme failure
+    FaultInjector fi(fc);
+    dev_.setFaultInjector(&fi);
+
+    // Under near-certain failure a write either succeeds (after
+    // bounded re-allocation) or reports failure with the map
+    // untouched — never a mapping to a dead page, never a hang.
+    for (Lpa lpa = 0; lpa < 20; ++lpa) {
+        Ppa ppa;
+        if (ftl_.allocateWrite(lpa, ppa)) {
+            EXPECT_EQ(ftl_.lookup(lpa), ppa);
+            EXPECT_TRUE(dev_.blockOf(ppa).valid[geo_.pageOf(ppa)]);
+        } else {
+            EXPECT_EQ(ftl_.lookup(lpa), kNoPpa);
+        }
+    }
+    EXPECT_GT(ftl_.programFailRepairs(), 0u);
+
+    // Every block condemned by a failure stopped accepting data.
+    for (ChannelId ch = 0; ch < geo_.num_channels; ++ch) {
+        for (ChipId c = 0; c < geo_.chips_per_channel; ++c) {
+            for (BlockId b = 0; b < geo_.blocks_per_chip; ++b) {
+                const auto &fb = dev_.chip(ch, c).block(b);
+                EXPECT_NE(fb.state, BlockState::kRetired);
+                if (fb.state == BlockState::kFull) {
+                    EXPECT_LE(fb.valid_count, fb.write_ptr);
+                }
+            }
+        }
+    }
+    dev_.setFaultInjector(nullptr);
+
+    // The device recovered: with faults gone (and the quota the burn
+    // consumed handed back, standing in for a GC pass over the dead
+    // blocks), writes succeed again.
+    ftl_.onBlocksReclaimed(ftl_.blocksUsed());
+    Ppa ppa;
+    ASSERT_TRUE(ftl_.allocateWrite(0, ppa));
+    EXPECT_EQ(ftl_.lookup(0), ppa);
+}
+
 TEST_F(FtlTest, ExternalSourceReceivesAShareOfWrites)
 {
     FakeSource src(dev_, 10);  // channel outside the own set

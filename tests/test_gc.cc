@@ -154,6 +154,75 @@ TEST_F(GcTest, StaleMappingsAreDroppedNotCopied)
               gc_->blocksReclaimed() * geo_.pages_per_block);
 }
 
+TEST_F(GcTest, EraseFailureRetiresVictimInsteadOfFreeing)
+{
+    FaultConfig fc;
+    fc.erase_fail_prob = 1.0;  // every erase fails
+    FaultInjector fi(fc);
+    dev_.setFaultInjector(&fi);
+
+    fillToPressure();
+    const std::uint64_t free_before = dev_.totalFreeBlocks();
+    gc_->maybeStart();
+    eq_.runUntil(sec(10));
+
+    // The probability clamp (0.95) lets the odd erase through, so
+    // reclaims aren't exactly zero — but retirements must dominate.
+    EXPECT_GT(gc_->blocksRetired(), 0u);
+    EXPECT_GT(gc_->blocksRetired(), gc_->blocksReclaimed());
+    EXPECT_EQ(dev_.totalRetiredBlocks(), gc_->blocksRetired());
+    // Retired blocks never return to the free pool.
+    EXPECT_LE(dev_.totalFreeBlocks(), free_before);
+
+    // Every retired block is in kRetired and excluded from service.
+    std::uint64_t seen = 0;
+    for (ChannelId ch = 0; ch < geo_.num_channels; ++ch) {
+        for (ChipId c = 0; c < geo_.chips_per_channel; ++c) {
+            for (BlockId b : dev_.chip(ch, c).badBlocks()) {
+                EXPECT_EQ(dev_.chip(ch, c).block(b).state,
+                          BlockState::kRetired);
+                ++seen;
+            }
+        }
+    }
+    EXPECT_EQ(seen, gc_->blocksRetired());
+
+    // No mapping was lost: the victims' valid pages were migrated
+    // before the failed erase, so every live LPA still resolves and
+    // the reverse map agrees.
+    for (Lpa lpa = 0; lpa < ftl_.logicalPages() / 2; ++lpa) {
+        const Ppa ppa = ftl_.lookup(lpa);
+        if (ppa == kNoPpa)
+            continue;
+        EXPECT_EQ(dev_.rmap(ppa).lpa, lpa);
+        EXPECT_EQ(dev_.rmap(ppa).data_vssd, 0u);
+        EXPECT_NE(dev_.blockOf(ppa).state, BlockState::kRetired);
+    }
+    dev_.setFaultInjector(nullptr);
+}
+
+TEST_F(GcTest, RetiredBlocksAreNeverReselectedAsVictims)
+{
+    FaultConfig fc;
+    fc.erase_fail_prob = 1.0;
+    FaultInjector fi(fc);
+    dev_.setFaultInjector(&fi);
+
+    fillToPressure();
+    gc_->maybeStart();
+    eq_.runUntil(sec(20));
+
+    // With every erase failing, each victim is retired exactly once;
+    // a re-selected retired block would double-retire and abort.
+    const std::uint64_t retired = gc_->blocksRetired();
+    EXPECT_GT(retired, 0u);
+    eq_.runUntil(sec(30));
+    gc_->maybeStart();
+    eq_.runUntil(sec(40));
+    EXPECT_GE(gc_->blocksRetired(), retired);
+    dev_.setFaultInjector(nullptr);
+}
+
 TEST_F(GcTest, WriteAmplificationStaysBoundedUnderChurn)
 {
     // Steady overwrite churn in half the logical space.

@@ -178,5 +178,99 @@ TEST_F(GsbManagerTest, HarvestOnlyRampsUpNeverReleases)
     EXPECT_EQ(gsb_.heldChannels(1), 2u);
 }
 
+TEST_F(GsbManagerTest, CreateSkipsChannelsWithHighRetiredDensity)
+{
+    // Push channels 0-3 over the 10 % retired-density threshold by
+    // retiring free blocks straight off their chips.
+    const std::uint32_t per_channel =
+        std::uint32_t(double(geo_.blocksPerChannel()) * 0.10) + 1;
+    for (ChannelId ch = 0; ch < 4; ++ch) {
+        std::uint32_t retired = 0;
+        for (ChipId c = 0; c < geo_.chips_per_channel &&
+                           retired < per_channel; ++c) {
+            for (BlockId b = 0; b < geo_.blocks_per_chip &&
+                               retired < per_channel; ++b) {
+                if (dev_.chip(ch, c).block(b).state ==
+                    BlockState::kFree) {
+                    dev_.chip(ch, c).retireBlock(b);
+                    ++retired;
+                }
+            }
+        }
+        ASSERT_GE(dev_.retiredRatio(ch), 0.10);
+    }
+
+    // Ask for all 8 home channels: only the 4 healthy ones qualify.
+    gsb_.makeHarvestable(0, chBw() * 8);
+    EXPECT_EQ(gsb_.donatedChannels(0), 4u);
+    // Every donated stripe sits on a healthy channel (4-7).
+    Ppa ppa;
+    gsb_.harvest(1, chBw() * 8);
+    for (Lpa lpa = 0; lpa < 400; ++lpa) {
+        ASSERT_TRUE(harv_->ftl().allocateWrite(lpa, ppa));
+        if (geo_.channelOf(ppa) <= 7) {
+            EXPECT_GE(geo_.channelOf(ppa), 4u);
+        }
+    }
+}
+
+TEST_F(GsbManagerTest, DonorPressureRevokeReclaimsUnharvestedFirst)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    ASSERT_EQ(gsb_.donatedChannels(0), 2u);
+    const std::uint64_t donated = home_->ftl().blocksUsed();
+
+    // Collapse the home's free quota below the 10 % pressure line.
+    const std::uint64_t quota = home_->ftl().quotaBlocks();
+    home_->ftl().chargeDonatedBlocks(
+        quota - donated - quota / 20);  // leaves 5 % free
+
+    EXPECT_TRUE(gsb_.revokeUnderPressure(0));
+    EXPECT_EQ(gsb_.revokedCount(), 1u);
+    EXPECT_EQ(gsb_.donatedChannels(0), 0u);
+    EXPECT_EQ(gsb_.liveGsbs(), 0u);
+    EXPECT_EQ(hbt_.markedCount(), 0u);
+    // The donation came back to the ledger.
+    EXPECT_LT(home_->ftl().blocksUsed(), quota - quota / 20);
+}
+
+TEST_F(GsbManagerTest, DonorPressureRevokeDetachesInUseGsbs)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    ASSERT_EQ(gsb_.harvest(1, chBw() * 2), 2u);
+    // The harvester wrote into the gSB, so it cannot be destroyed
+    // instantly — revoke must fall through to lazy reclamation.
+    Ppa ppa;
+    for (Lpa lpa = 0; lpa < 100; ++lpa)
+        ASSERT_TRUE(harv_->ftl().allocateWrite(lpa, ppa));
+
+    const std::uint64_t quota = home_->ftl().quotaBlocks();
+    home_->ftl().chargeDonatedBlocks(quota);  // zero free quota
+
+    EXPECT_TRUE(gsb_.revokeUnderPressure(0));
+    EXPECT_GE(gsb_.revokedCount(), 1u);
+    // Write path detached immediately; no new data flows in.
+    EXPECT_EQ(harv_->ftl().numExternalSources(), 0u);
+    EXPECT_EQ(gsb_.heldChannels(1), 0u);
+
+    // No deadlock: the simulation keeps making progress and the
+    // harvester's data stays readable wherever it lives.
+    eq_.runUntil(sec(10));
+    for (Lpa probe = 0; probe < 100; ++probe) {
+        const Ppa now = harv_->ftl().lookup(probe);
+        ASSERT_NE(now, kNoPpa);
+        EXPECT_EQ(dev_.rmap(now).lpa, probe);
+        EXPECT_EQ(dev_.rmap(now).data_vssd, 1u);
+    }
+}
+
+TEST_F(GsbManagerTest, RevokeWithoutPressureIsANoOp)
+{
+    gsb_.makeHarvestable(0, chBw() * 2);
+    EXPECT_FALSE(gsb_.revokeUnderPressure(0));
+    EXPECT_EQ(gsb_.revokedCount(), 0u);
+    EXPECT_EQ(gsb_.donatedChannels(0), 2u);
+}
+
 }  // namespace
 }  // namespace fleetio
