@@ -90,39 +90,58 @@ baseCfg()
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Design ablations: beta, state stacking, admission batch");
+    BenchReport report("ablation_design");
+    report.setJobs(benchJobs());
+
     const std::vector<WorkloadKind> pair = {WorkloadKind::kVdiWeb,
                                             WorkloadKind::kTeraSort};
 
-    Table t({"ablation", "setting", "avg util", "LS P99", "BI BW"});
-    auto add = [&](const std::string &what, const std::string &setting,
-                   const Row &r) {
-        t.addRow({what, setting, fmtPercent(r.util),
-                  fmtLatencyMs(SimTime(r.ls_p99)),
-                  fmtDouble(r.bi_bw, 1) + " MB/s"});
+    // Enumerate every ablation cell, then fan out through the pool.
+    struct Cell
+    {
+        std::string what, setting;
+        FleetIoConfig cfg;
     };
-
+    std::vector<Cell> cells;
     for (double beta : {1.0, 0.6, 0.2}) {
         FleetIoConfig cfg = baseCfg();
         cfg.beta = beta;
-        add("beta (Eq. 2)", fmtDouble(beta, 1), runCustom(pair, cfg));
+        cells.push_back({"beta (Eq. 2)", fmtDouble(beta, 1), cfg});
     }
     for (int stack : {1, 3}) {
         FleetIoConfig cfg = baseCfg();
         cfg.state_stack = stack;
-        add("state stacking", std::to_string(stack) + " windows",
-            runCustom(pair, cfg));
+        cells.push_back(
+            {"state stacking", std::to_string(stack) + " windows",
+             cfg});
     }
     for (SimTime batch : {msec(10), msec(50), msec(200)}) {
         FleetIoConfig cfg = baseCfg();
         cfg.admission_batch = batch;
-        add("admission batch", fmtDouble(toMillis(batch), 0) + " ms",
-            runCustom(pair, cfg));
+        cells.push_back({"admission batch",
+                         fmtDouble(toMillis(batch), 0) + " ms", cfg});
+    }
+    const auto rows = parallelMap(cells, [&](const Cell &c) {
+        return runCustom(pair, c.cfg);
+    });
+
+    Table t({"ablation", "setting", "avg util", "LS P99", "BI BW"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Row &r = rows[i];
+        t.addRow({cells[i].what, cells[i].setting, fmtPercent(r.util),
+                  fmtLatencyMs(SimTime(r.ls_p99)),
+                  fmtDouble(r.bi_bw, 1) + " MB/s"});
+        report.addCell(cells[i].what + " = " + cells[i].setting,
+                       {{"avg_util", r.util},
+                        {"ls_p99_ns", r.ls_p99},
+                        {"bi_bw_mbps", r.bi_bw}});
     }
     t.print(std::cout);
     std::cout << "\nPaper defaults: beta 0.6, 3 stacked windows, 50 ms "
                  "admission batches.\n";
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

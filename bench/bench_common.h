@@ -14,12 +14,14 @@
 #ifndef FLEETIO_BENCH_BENCH_COMMON_H
 #define FLEETIO_BENCH_BENCH_COMMON_H
 
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/harness/parallel.h"
 #include "src/harness/reporting.h"
 
 namespace fleetio::bench {
@@ -80,13 +82,36 @@ mainPolicies()
             PolicyKind::kFleetIo};
 }
 
-/** Measurement seconds (override with FLEETIO_BENCH_MEASURE_SEC). */
+/**
+ * Measurement seconds (override with FLEETIO_BENCH_MEASURE_SEC).
+ * A value that is not a positive integer (garbage, zero, negative,
+ * absurdly large) would otherwise silently yield a 0 s measurement and
+ * all-zero metrics; such values fall back to the default with a
+ * warning instead.
+ */
 inline SimTime
 measureDuration()
 {
-    if (const char *env = std::getenv("FLEETIO_BENCH_MEASURE_SEC"))
-        return sec(std::uint64_t(std::atoi(env)));
-    return sec(18);
+    constexpr std::uint64_t kDefaultSec = 18;
+    const char *env = std::getenv("FLEETIO_BENCH_MEASURE_SEC");
+    if (!env)
+        return sec(kDefaultSec);
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+        v > 86400) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            std::cerr << "warning: FLEETIO_BENCH_MEASURE_SEC=\"" << env
+                      << "\" is not a valid duration (want integer "
+                         "seconds in [1, 86400]); using "
+                      << kDefaultSec << " s\n";
+        }
+        return sec(kDefaultSec);
+    }
+    return sec(std::uint64_t(v));
 }
 
 /** Standard spec for a workload set under a policy. */
@@ -111,7 +136,9 @@ banner(const std::string &title)
               << "Device: Table-3 geometry scaled down (benchGeometry:"
                  " 16 ch x 4 chips, 2 MB blocks, 4 GB);\n"
               << "decision window 2 s -> 100 ms; measure "
-              << toSeconds(measureDuration()) << " s per cell.\n"
+              << toSeconds(measureDuration()) << " s per cell; "
+              << benchJobs()
+              << " parallel jobs (FLEETIO_BENCH_JOBS).\n"
               << "Shapes (orderings, ratios) are the reproduction "
                  "target, not absolute board numbers.\n"
               << "==================================================\n\n";

@@ -151,18 +151,15 @@ run(const FaultConfig &faults)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Fault tolerance: FleetIO under injected NAND faults");
+    BenchReport report("fault_tolerance");
+    report.setJobs(benchJobs());
 
     const auto levels = faultLevels();
-    std::vector<Outcome> outs;
-    outs.reserve(levels.size());
-    for (const auto &lvl : levels) {
-        std::cout << "running level '" << lvl.label << "'...\n";
-        outs.push_back(run(lvl.cfg));
-    }
-    std::cout << '\n';
+    const auto outs = parallelMap(
+        levels, [](const Level &lvl) { return run(lvl.cfg); });
 
     const Outcome &base = outs[0];
     Table t({"faults", "util", "util/base", "BW (MB/s)", "BW/base",
@@ -216,5 +213,19 @@ main()
     std::cout << "Expected shape: graceful degradation — util/BW dip "
                  "and P99 grows with the fault rate, while every run "
                  "completes with intact metadata.\n";
+    for (std::size_t i = 0; i < levels.size(); ++i) {
+        const Outcome &o = outs[i];
+        report.addCell(levels[i].label,
+                       {{"avg_util", o.util},
+                        {"agg_bw_mbps", o.agg_bw},
+                        {"ls_p99_ns", o.ls_p99},
+                        {"slo_violation", o.slo_vio},
+                        {"write_amp", o.write_amp},
+                        {"blocks_retired", double(o.retired)},
+                        {"mappings_intact",
+                         o.mappings_intact ? 1.0 : 0.0}});
+    }
+    report.setMetric("integrity_ok", ok ? 1.0 : 0.0);
+    report.writeIfEnabled(argc, argv);
     return ok ? 0 : 1;
 }

@@ -11,19 +11,31 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 3: collocated performance, HW vs SW isolation");
+    BenchReport report("fig03_motivation_perf");
+    report.setJobs(benchJobs());
+
+    const auto pairs = evaluationPairs();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        specs.push_back(makeSpec(pair, PolicyKind::kHardwareIsolation));
+        specs.push_back(makeSpec(pair, PolicyKind::kSoftwareIsolation));
+    }
+    const auto results = runExperiments(specs);
+
     Table a({"BI workload (pair)", "HW BW (MB/s)", "SW BW (MB/s)",
              "SW/HW"});
     Table b({"LS workload (pair)", "HW P99", "SW P99", "SW/HW"});
     double bw_gain_sum = 0, lat_ratio_sum = 0;
     int n = 0;
-    for (const auto &pair : evaluationPairs()) {
-        const auto hw = runExperiment(
-            makeSpec(pair, PolicyKind::kHardwareIsolation));
-        const auto sw = runExperiment(
-            makeSpec(pair, PolicyKind::kSoftwareIsolation));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
+        const auto &hw = results[2 * i];
+        const auto &sw = results[2 * i + 1];
+        report.addCell(pairLabel(pair), hw);
+        report.addCell(pairLabel(pair), sw);
         const double bw_hw = hw.meanBandwidthIntensiveBw();
         const double bw_sw = sw.meanBandwidthIntensiveBw();
         const double p99_hw = hw.meanLatencySensitiveP99();
@@ -48,5 +60,8 @@ main()
                  "avg "
               << fmtDouble(lat_ratio_sum / n)
               << "x (paper: up to 2.02x)\n";
+    report.setMetric("sw_bi_bw_gain_avg", bw_gain_sum / n);
+    report.setMetric("sw_ls_p99_inflation_avg", lat_ratio_sum / n);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

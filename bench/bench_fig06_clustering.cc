@@ -25,30 +25,42 @@ struct TracedWindows
     std::vector<int> ids;
 };
 
-/** Run each workload solo and extract feature windows from its trace. */
+/** Run one workload solo and extract feature windows from its trace. */
+std::vector<rl::Vector>
+collectWindowsFor(WorkloadKind kind)
+{
+    TestbedOptions opts;
+    Testbed tb(opts);
+    std::vector<ChannelId> all(opts.geo.num_channels);
+    std::iota(all.begin(), all.end(), 0);
+    Vssd &v =
+        tb.addTenant(kind, all, opts.geo.totalBlocks(), msec(50));
+    auto &wl = tb.workload(v.id());
+    wl.enableTrace(60000);
+    tb.warmupFill();
+    tb.startWorkloads();
+    tb.run(sec(20));
+    // Scaled trace volume: 1K-request windows stand in for the
+    // paper's 10K windows (same features, shorter traces).
+    const auto windows = extractWindows(wl.trace(), opts.geo.page_size,
+                                        v.ftl().logicalPages(), 1000);
+    std::vector<rl::Vector> out;
+    out.reserve(windows.size());
+    for (const auto &f : windows)
+        out.push_back(f.toVector());
+    return out;
+}
+
+/** Trace every workload (one solo run each, in parallel). */
 TracedWindows
 collectWindows(const std::vector<WorkloadKind> &kinds)
 {
+    const auto per_kind = parallelMap(
+        kinds, [](const WorkloadKind &k) { return collectWindowsFor(k); });
     TracedWindows out;
-    for (std::size_t w = 0; w < kinds.size(); ++w) {
-        TestbedOptions opts;
-        Testbed tb(opts);
-        std::vector<ChannelId> all(opts.geo.num_channels);
-        std::iota(all.begin(), all.end(), 0);
-        Vssd &v = tb.addTenant(kinds[w], all, opts.geo.totalBlocks(),
-                               msec(50));
-        auto &wl = tb.workload(v.id());
-        wl.enableTrace(60000);
-        tb.warmupFill();
-        tb.startWorkloads();
-        tb.run(sec(20));
-        // Scaled trace volume: 1K-request windows stand in for the
-        // paper's 10K windows (same features, shorter traces).
-        const auto windows =
-            extractWindows(wl.trace(), opts.geo.page_size,
-                           v.ftl().logicalPages(), 1000);
-        for (const auto &f : windows) {
-            out.features.push_back(f.toVector());
+    for (std::size_t w = 0; w < per_kind.size(); ++w) {
+        for (auto &f : per_kind[w]) {
+            out.features.push_back(f);
             out.ids.push_back(int(w));
         }
     }
@@ -58,9 +70,11 @@ collectWindows(const std::vector<WorkloadKind> &kinds)
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 6: workload clustering (k-means + PCA)");
+    BenchReport report("fig06_clustering");
+    report.setJobs(benchJobs());
     // 8 evaluated workloads, as plotted in Fig. 6.
     const std::vector<WorkloadKind> kinds = {
         WorkloadKind::kMlPrep,       WorkloadKind::kPageRank,
@@ -111,6 +125,17 @@ main()
     const double acc = wc.testAccuracy(test.features, test.ids);
     std::cout << "held-out window accuracy: " << fmtPercent(acc)
               << "  (paper: 98.4%)\n\n";
+    report.setMetric("held_out_accuracy", acc);
+    report.setMetric("feature_windows", double(all.features.size()));
+    for (std::size_t w = 0; w < kinds.size(); ++w) {
+        int count = 0;
+        for (std::size_t i = 0; i < all.ids.size(); ++i)
+            count += all.ids[i] == int(w);
+        report.addCell(workloadName(kinds[w]),
+                       {{"windows", double(count)},
+                        {"cluster",
+                         double(wc.groundTruthCluster(int(w)))}});
+    }
 
     // PCA scatter (factor 1 / factor 2 centroids per workload).
     Rng rng(99);
@@ -137,5 +162,6 @@ main()
     }
     std::cout << "PCA projection (cluster centroids, cf. Fig. 6):\n";
     scat.print(std::cout);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

@@ -14,22 +14,33 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 10: utilization vs P99 trade-off (all policies)");
+    BenchReport report("fig10_tradeoff");
+    report.setJobs(benchJobs());
+
+    const auto pairs = evaluationPairs();
+    const auto policies = mainPolicies();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(pair, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table t({"pair", "policy", "util gain vs HW",
              "LS P99 (norm. to HW)"});
     std::map<std::string, std::pair<double, double>> policy_sums;
     std::map<std::string, int> policy_counts;
 
-    for (const auto &pair : evaluationPairs()) {
-        const auto hw = runExperiment(
-            makeSpec(pair, PolicyKind::kHardwareIsolation));
-        for (PolicyKind pk : mainPolicies()) {
-            const auto res =
-                pk == PolicyKind::kHardwareIsolation
-                    ? hw
-                    : runExperiment(makeSpec(pair, pk));
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
+        // mainPolicies() leads with hardware isolation, the baseline.
+        const auto &hw = results[i * policies.size()];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(pairLabel(pair), res);
             const double util_gain =
                 normalizeTo(res.avg_util, hw.avg_util);
             const double p99_norm =
@@ -56,5 +67,6 @@ main()
     std::cout << "\nExpected shape: FleetIO sits upper-left — more "
                  "utilization than HW/SSDKeeper at far lower P99 than "
                  "SW/Adaptive.\n";
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

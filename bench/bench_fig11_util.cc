@@ -11,17 +11,33 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 11: storage utilization by policy");
+    BenchReport report("fig11_util");
+    report.setJobs(benchJobs());
+
+    const auto pairs = evaluationPairs();
+    const auto policies = mainPolicies();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(pair, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table t({"pair", "HW", "SSDKeeper", "Adaptive", "SW", "FleetIO",
              "FleetIO/SW"});
     double frac_sum = 0;
     int n = 0;
-    for (const auto &pair : evaluationPairs()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
         std::vector<double> utils;
-        for (PolicyKind pk : mainPolicies())
-            utils.push_back(runExperiment(makeSpec(pair, pk)).avg_util);
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(pairLabel(pair), res);
+            utils.push_back(res.avg_util);
+        }
         const double fleet_vs_sw = normalizeTo(utils[4], utils[3]);
         frac_sum += fleet_vs_sw;
         ++n;
@@ -34,5 +50,7 @@ main()
     std::cout << "\nFleetIO reaches " << fmtPercent(frac_sum / n)
               << " of Software Isolation's utilization on average "
                  "(paper: ~93%).\n";
+    report.setMetric("fleetio_vs_sw_util_avg", frac_sum / n);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

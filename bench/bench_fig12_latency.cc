@@ -11,18 +11,33 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 12: normalized P99 of the LS workload");
+    BenchReport report("fig12_latency");
+    report.setJobs(benchJobs());
+
+    const auto pairs = evaluationPairs();
+    const auto policies = mainPolicies();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(pair, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table t({"pair", "HW P99 (abs)", "SSDKeeper", "Adaptive", "SW",
              "FleetIO", "SW/FleetIO"});
     double fleet_sum = 0, reduction_sum = 0;
     int n = 0;
-    for (const auto &pair : evaluationPairs()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
         std::vector<double> p99;
-        for (PolicyKind pk : mainPolicies())
-            p99.push_back(runExperiment(makeSpec(pair, pk))
-                              .meanLatencySensitiveP99());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(pairLabel(pair), res);
+            p99.push_back(res.meanLatencySensitiveP99());
+        }
         const double base = p99[0];
         fleet_sum += normalizeTo(p99[4], base);
         reduction_sum += normalizeTo(p99[3], p99[4]);
@@ -41,5 +56,9 @@ main()
               << "FleetIO reduces P99 vs Software Isolation by "
               << fmtDouble(reduction_sum / n)
               << "x on average (paper headline: 1.5x).\n";
+    report.setMetric("fleetio_p99_vs_hw_avg", fleet_sum / n);
+    report.setMetric("fleetio_p99_reduction_vs_sw_avg",
+                     reduction_sum / n);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

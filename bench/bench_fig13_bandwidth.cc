@@ -11,18 +11,33 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 13: normalized bandwidth of the BI workload");
+    BenchReport report("fig13_bandwidth");
+    report.setJobs(benchJobs());
+
+    const auto pairs = evaluationPairs();
+    const auto policies = mainPolicies();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(pair, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table t({"pair", "HW BW (abs)", "SSDKeeper", "Adaptive", "SW",
              "FleetIO", "FleetIO/SW"});
     double gain_sum = 0, frac_sum = 0;
     int n = 0;
-    for (const auto &pair : evaluationPairs()) {
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
         std::vector<double> bw;
-        for (PolicyKind pk : mainPolicies())
-            bw.push_back(runExperiment(makeSpec(pair, pk))
-                             .meanBandwidthIntensiveBw());
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(pairLabel(pair), res);
+            bw.push_back(res.meanBandwidthIntensiveBw());
+        }
         const double base = bw[0];
         gain_sum += normalizeTo(bw[4], base);
         frac_sum += normalizeTo(bw[4], bw[3]);
@@ -40,5 +55,8 @@ main()
               << "x avg (paper: 1.46x avg); fraction of Software "
                  "Isolation: "
               << fmtPercent(frac_sum / n) << " (paper: ~89%).\n";
+    report.setMetric("fleetio_bi_bw_gain_avg", gain_sum / n);
+    report.setMetric("fleetio_vs_sw_bw_avg", frac_sum / n);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

@@ -12,20 +12,32 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 14: scalability over Table-5 mixes");
+    BenchReport report("fig14_scalability");
+    report.setJobs(benchJobs());
+
+    const auto mixes = scalabilityMixes();
+    const auto policies = mainPolicies();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &mix : mixes) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(mix.workloads, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table a({"mix", "policy", "avg util", "util vs HW"});
     Table b({"mix", "policy", "mean LS P99", "vs HW"});
     Table c({"mix", "policy", "mean BI BW", "vs HW"});
 
-    for (const auto &mix : scalabilityMixes()) {
-        ExperimentResult hw;
-        for (PolicyKind pk : mainPolicies()) {
-            const auto res =
-                runExperiment(makeSpec(mix.workloads, pk));
-            if (pk == PolicyKind::kHardwareIsolation)
-                hw = res;
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const auto &mix = mixes[i];
+        // mainPolicies() leads with hardware isolation, the baseline.
+        const auto &hw = results[i * policies.size()];
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(mix.label, res);
             a.addRow({mix.label, res.policy,
                       fmtPercent(res.avg_util),
                       fmtDouble(normalizeTo(res.avg_util,
@@ -50,5 +62,6 @@ main()
     b.print(std::cout);
     std::cout << "\n(c) bandwidth of bandwidth-intensive workloads\n";
     c.print(std::cout);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

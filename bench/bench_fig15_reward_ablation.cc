@@ -14,9 +14,12 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 15: reward-function ablation");
+    BenchReport report("fig15_reward_ablation");
+    report.setJobs(benchJobs());
+
     const std::vector<PolicyKind> policies = {
         PolicyKind::kHardwareIsolation,
         PolicyKind::kFleetIoCustomizedLocal,
@@ -24,14 +27,24 @@ main()
         PolicyKind::kFleetIo,
         PolicyKind::kSoftwareIsolation,
     };
+    const auto pairs = evaluationPairs();
+    std::vector<ExperimentSpec> specs;
+    for (const auto &pair : pairs) {
+        for (PolicyKind pk : policies)
+            specs.push_back(makeSpec(pair, pk));
+    }
+    const auto results = runExperiments(specs);
+
     Table a({"pair", "policy", "avg util"});
     Table b({"pair", "policy", "LS P99", "norm. to HW"});
-    for (const auto &pair : evaluationPairs()) {
-        double hw_p99 = 0;
-        for (PolicyKind pk : policies) {
-            const auto res = runExperiment(makeSpec(pair, pk));
-            if (pk == PolicyKind::kHardwareIsolation)
-                hw_p99 = res.meanLatencySensitiveP99();
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+        const auto &pair = pairs[i];
+        // policies[] leads with hardware isolation, the P99 baseline.
+        const double hw_p99 =
+            results[i * policies.size()].meanLatencySensitiveP99();
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto &res = results[i * policies.size() + p];
+            report.addCell(pairLabel(pair), res);
             a.addRow({pairLabel(pair), res.policy,
                       fmtPercent(res.avg_util)});
             b.addRow({pairLabel(pair), res.policy,
@@ -50,5 +63,6 @@ main()
                  "tracks Hardware Isolation (beta = 1 gives no "
                  "incentive to donate); full FleetIO lifts "
                  "utilization while holding P99 near HW.\n";
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

@@ -12,9 +12,12 @@ using namespace fleetio;
 using namespace fleetio::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 16: mixed hardware- and software-isolated vSSDs");
+    BenchReport report("fig16_mixed_isolation");
+    report.setJobs(benchJobs());
+
     const std::vector<WorkloadKind> mix3 = {
         WorkloadKind::kVdiWeb, WorkloadKind::kVdiWeb,
         WorkloadKind::kTeraSort, WorkloadKind::kTeraSort};
@@ -22,13 +25,18 @@ main()
         PolicyKind::kMixedIsolation, PolicyKind::kSoftwareIsolation,
         PolicyKind::kFleetIoMixed};
 
+    std::vector<ExperimentSpec> specs;
+    for (PolicyKind pk : policies)
+        specs.push_back(makeSpec(mix3, pk));
+    const auto results = runExperiments(specs);
+
     Table t({"policy", "avg util", "VDI-Web P99 (mean)",
              "TeraSort BW (mean)"});
-    ExperimentResult base;
-    for (PolicyKind pk : policies) {
-        const auto res = runExperiment(makeSpec(mix3, pk));
-        if (pk == PolicyKind::kMixedIsolation)
-            base = res;
+    const auto &base = results[0];  // Mixed Isolation leads
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        const PolicyKind pk = policies[p];
+        const auto &res = results[p];
+        report.addCell("mix3", res);
         t.addRow({res.policy, fmtPercent(res.avg_util),
                   fmtLatencyMs(SimTime(res.meanLatencySensitiveP99())),
                   fmtDouble(res.meanBandwidthIntensiveBw(), 1) +
@@ -49,5 +57,6 @@ main()
         }
     }
     t.print(std::cout);
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

@@ -65,9 +65,12 @@ run(WorkloadKind focus, WorkloadKind trained_with,
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("Figure 17: robustness to collocated-workload changes");
+    BenchReport report("fig17_robustness");
+    report.setJobs(benchJobs());
+
     using K = WorkloadKind;
     struct Case
     {
@@ -84,11 +87,27 @@ main()
         {K::kYcsbB, K::kPageRank, K::kTeraSort, false},
     };
 
+    // Both arms of every case are independent simulations: fan all 12
+    // out through the pool, pretrained at 2i, transfer at 2i+1.
+    struct Task
+    {
+        K focus, trained, evaluated;
+    };
+    std::vector<Task> tasks;
+    for (const auto &c : cases) {
+        tasks.push_back({c.focus, c.evaluated, c.evaluated});
+        tasks.push_back({c.focus, c.trained, c.evaluated});
+    }
+    const auto outcomes = parallelMap(tasks, [](const Task &t) {
+        return run(t.focus, t.trained, t.evaluated);
+    });
+
     Table t({"case", "metric", "Pretrained", "Transfer",
              "Transfer/Pretrained"});
-    for (const auto &c : cases) {
-        const Outcome pre = run(c.focus, c.evaluated, c.evaluated);
-        const Outcome xfer = run(c.focus, c.trained, c.evaluated);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &c = cases[i];
+        const Outcome &pre = outcomes[2 * i];
+        const Outcome &xfer = outcomes[2 * i + 1];
         const std::string label =
             workloadName(c.focus) + " + (" + workloadName(c.trained) +
             " -> " + workloadName(c.evaluated) + ")";
@@ -107,9 +126,18 @@ main()
                       fmtDouble(normalizeTo(xfer.focus_p99,
                                             pre.focus_p99))});
         }
+        report.addCell(label + " [pretrained]",
+                       {{"util", pre.util},
+                        {"focus_bw_mbps", pre.focus_bw},
+                        {"focus_p99_ns", pre.focus_p99}});
+        report.addCell(label + " [transfer]",
+                       {{"util", xfer.util},
+                        {"focus_bw_mbps", xfer.focus_bw},
+                        {"focus_p99_ns", xfer.focus_p99}});
     }
     t.print(std::cout);
     std::cout << "\nExpected shape: Transfer within a few percent of "
                  "Pretrained (paper: within 5%).\n";
+    report.writeIfEnabled(argc, argv);
     return 0;
 }

@@ -1,6 +1,8 @@
 #include "src/harness/experiment.h"
 
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "src/virt/channel_allocator.h"
@@ -50,36 +52,55 @@ calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
 {
     using Key = std::tuple<int, std::size_t, std::uint32_t,
                            std::uint32_t, long>;
-    static std::map<Key, SimTime> cache;
+    // Per-key once-calibration: the mutex only guards the map lookup;
+    // the (multi-second) solo simulation runs under the entry's
+    // once_flag, so concurrent sweep cells needing the same SLO block
+    // on one calibration instead of duplicating it, while cells
+    // needing *different* SLOs calibrate concurrently. Entries are
+    // heap-boxed so map rebalancing never moves a once_flag.
+    struct Entry
+    {
+        std::once_flag once;
+        SimTime slo = 0;
+    };
+    static std::mutex mu;
+    static std::map<Key, std::unique_ptr<Entry>> cache;
     const Key key{int(kind), num_tenants, opts.geo.blocks_per_chip,
                   opts.geo.pages_per_block,
                   long(opts.intensity * 1000)};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    // Solo run on a hardware-isolated share of the device.
-    TestbedOptions solo = opts;
-    solo.seed = 0xCA11B7A7Eull;  // calibration uses its own seed
-    // SLOs describe the *healthy* device: calibrate fault-free so an
-    // injected-fault sweep measures degradation against a fixed bar.
-    solo.faults = FaultConfig{};
-    Testbed tb(solo);
-    const auto &geo = tb.device().geometry();
-    const auto split = ChannelAllocator::equalSplit(geo, num_tenants);
-    const std::uint64_t quota = geo.totalBlocks() / num_tenants;
-    Vssd &v = tb.addTenant(kind, split[0], quota, kTimeNever);
-    tb.warmupFill();
-    tb.startWorkloads();
-    tb.run(sec(1));
-    tb.beginMeasurement();
-    tb.run(sec(4));
-    tb.endMeasurement();
-    const SimTime p99 = v.latency().quantile(0.99);
-    // Guard against degenerate calibration (no completed I/O).
-    const SimTime slo = p99 > 0 ? p99 : msec(10);
-    cache[key] = slo;
-    return slo;
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> g(mu);
+        auto &slot = cache[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&]() {
+        // Solo run on a hardware-isolated share of the device.
+        TestbedOptions solo = opts;
+        solo.seed = 0xCA11B7A7Eull;  // calibration uses its own seed
+        // SLOs describe the *healthy* device: calibrate fault-free so
+        // an injected-fault sweep measures degradation against a fixed
+        // bar.
+        solo.faults = FaultConfig{};
+        Testbed tb(solo);
+        const auto &geo = tb.device().geometry();
+        const auto split =
+            ChannelAllocator::equalSplit(geo, num_tenants);
+        const std::uint64_t quota = geo.totalBlocks() / num_tenants;
+        Vssd &v = tb.addTenant(kind, split[0], quota, kTimeNever);
+        tb.warmupFill();
+        tb.startWorkloads();
+        tb.run(sec(1));
+        tb.beginMeasurement();
+        tb.run(sec(4));
+        tb.endMeasurement();
+        const SimTime p99 = v.latency().quantile(0.99);
+        // Guard against degenerate calibration (no completed I/O).
+        entry->slo = p99 > 0 ? p99 : msec(10);
+    });
+    return entry->slo;
 }
 
 ExperimentResult
@@ -116,6 +137,7 @@ runExperiment(const ExperimentSpec &spec)
     ExperimentResult res;
     res.policy = policy->name();
     res.measured = spec.measure;
+    res.sim_events = tb.eq().dispatched();
     res.avg_util = tb.avgUtilization();
     res.p95_util = tb.p95Utilization();
     res.write_amp = tb.device().writeAmplification();

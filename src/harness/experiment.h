@@ -45,6 +45,11 @@ struct ExperimentResult
     std::uint64_t program_fail_repairs = 0;
     std::uint64_t gsb_revokes = 0;
 
+    /** Simulation events dispatched over the whole run (warm-up +
+     *  prepare + measure) — the denominator of events/sec perf
+     *  tracking. Deterministic for a fixed spec. */
+    std::uint64_t sim_events = 0;
+
     /** Sum of tenant bandwidths (MB/s). */
     double aggregateBwMBps() const;
 
@@ -76,6 +81,10 @@ ExperimentResult runExperiment(const ExperimentSpec &spec);
  * @p num_tenants equal tenants: the P99 latency measured in a solo
  * calibration run (paper §3.3.1 default). Results are cached per
  * (kind, share, geometry, intensity).
+ *
+ * Thread-safe: concurrent callers with the same key block on a single
+ * calibration run (per-key once semantics) instead of duplicating it,
+ * so parallel sweeps see exactly the serial cache behaviour.
  */
 SimTime calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
                       const TestbedOptions &opts);

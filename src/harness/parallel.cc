@@ -1,0 +1,104 @@
+#include "src/harness/parallel.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <iostream>
+
+namespace fleetio {
+
+unsigned
+benchJobs()
+{
+    static const unsigned jobs = []() -> unsigned {
+        const unsigned hw =
+            std::max(1u, std::thread::hardware_concurrency());
+        const char *env = std::getenv("FLEETIO_BENCH_JOBS");
+        if (env == nullptr || *env == '\0')
+            return hw;
+        errno = 0;
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+            v > 4096) {
+            std::cerr << "warning: ignoring invalid FLEETIO_BENCH_JOBS='"
+                      << env << "' (want an integer in [1,4096]); using "
+                      << hw << "\n";
+            return hw;
+        }
+        return unsigned(v);
+    }();
+    return jobs;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        stop_ = true;
+    }
+    cv_task_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        tasks_.push_back(std::move(task));
+        ++in_flight_;
+    }
+    cv_task_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this]() { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lk(mu_);
+            cv_task_.wait(lk, [this]() {
+                return stop_ || !tasks_.empty();
+            });
+            if (tasks_.empty())
+                return;  // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> g(mu_);
+            --in_flight_;
+        }
+        cv_done_.notify_all();
+    }
+}
+
+std::vector<ExperimentResult>
+runExperiments(const std::vector<ExperimentSpec> &specs, unsigned jobs)
+{
+    return parallelMap(
+        specs,
+        [](const ExperimentSpec &s) { return runExperiment(s); }, jobs);
+}
+
+}  // namespace fleetio

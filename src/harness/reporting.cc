@@ -1,6 +1,11 @@
 #include "src/harness/reporting.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -118,6 +123,173 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
        << " write-amp=" << fmtDouble(res.write_amp) << "\n";
     printFaultSummary(res, os);
     os << '\n';
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    std::ostringstream ss;
+    ss << std::setprecision(12) << v;
+    return ss.str();
+}
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+BenchReport::addCell(const std::string &label,
+                     const ExperimentResult &res)
+{
+    Cell c;
+    c.label = label;
+    c.sim_events = res.sim_events;
+    c.metrics["avg_util"] = res.avg_util;
+    c.metrics["p95_util"] = res.p95_util;
+    c.metrics["write_amp"] = res.write_amp;
+    c.metrics["agg_bw_mbps"] = res.aggregateBwMBps();
+    c.metrics["ls_p99_ns"] = res.meanLatencySensitiveP99();
+    c.metrics["bi_bw_mbps"] = res.meanBandwidthIntensiveBw();
+    if (res.faults.total() != 0) {
+        c.metrics["fault_events"] = double(res.faults.total());
+        c.metrics["blocks_retired"] = double(res.blocks_retired);
+    }
+    // The policy travels in the label-free metrics map as a side
+    // string; keep it in the label instead when the caller didn't.
+    if (c.label.find(res.policy) == std::string::npos)
+        c.label += " / " + res.policy;
+    cells_.push_back(std::move(c));
+}
+
+void
+BenchReport::addCell(const std::string &label,
+                     const std::map<std::string, double> &metrics,
+                     std::uint64_t sim_events)
+{
+    cells_.push_back(Cell{label, metrics, sim_events});
+}
+
+void
+BenchReport::setMetric(const std::string &key, double value)
+{
+    metrics_[key] = value;
+}
+
+double
+BenchReport::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+std::uint64_t
+BenchReport::totalSimEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &c : cells_)
+        total += c.sim_events;
+    return total;
+}
+
+void
+BenchReport::writeJson(std::ostream &os) const
+{
+    const double wall = elapsedSeconds();
+    const std::uint64_t events = totalSimEvents();
+    os << "{\n";
+    os << "  \"schema\": \"fleetio-bench-v1\",\n";
+    os << "  \"bench\": \"" << jsonEscape(name_) << "\",\n";
+    os << "  \"jobs\": " << jobs_ << ",\n";
+    os << "  \"cells\": " << cells_.size() << ",\n";
+    os << "  \"wall_seconds\": " << jsonNumber(wall) << ",\n";
+    os << "  \"cells_per_sec\": "
+       << jsonNumber(wall > 0 ? double(cells_.size()) / wall : 0.0)
+       << ",\n";
+    os << "  \"sim_events\": " << events << ",\n";
+    os << "  \"events_per_sec\": "
+       << jsonNumber(wall > 0 ? double(events) / wall : 0.0) << ",\n";
+    os << "  \"metrics\": {";
+    bool first = true;
+    for (const auto &[k, v] : metrics_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(k)
+           << "\": " << jsonNumber(v);
+        first = false;
+    }
+    os << (metrics_.empty() ? "" : "\n  ") << "},\n";
+    os << "  \"results\": [";
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+        const Cell &c = cells_[i];
+        os << (i ? "," : "") << "\n    {\"label\": \""
+           << jsonEscape(c.label) << "\", \"sim_events\": "
+           << c.sim_events;
+        for (const auto &[k, v] : c.metrics)
+            os << ", \"" << jsonEscape(k) << "\": " << jsonNumber(v);
+        os << "}";
+    }
+    os << (cells_.empty() ? "" : "\n  ") << "]\n";
+    os << "}\n";
+}
+
+bool
+BenchReport::writeIfEnabled(int argc, const char *const *argv,
+                            std::ostream &log) const
+{
+    bool enabled = false;
+    std::string dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            enabled = true;
+    }
+    if (const char *env = std::getenv("FLEETIO_BENCH_JSON")) {
+        if (std::strcmp(env, "0") != 0 && *env != '\0') {
+            enabled = true;
+            if (std::strchr(env, '/') != nullptr)
+                dir = env;
+        }
+    }
+    if (!enabled)
+        return false;
+    std::string path = "BENCH_" + name_ + ".json";
+    if (!dir.empty())
+        path = dir + (dir.back() == '/' ? "" : "/") + path;
+    std::ofstream out(path);
+    if (!out) {
+        log << "warning: cannot write " << path << "\n";
+        return false;
+    }
+    writeJson(out);
+    log << "wrote " << path << " (" << cells_.size() << " cells, "
+        << fmtDouble(elapsedSeconds(), 2) << " s wall)\n";
+    return true;
 }
 
 void

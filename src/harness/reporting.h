@@ -1,11 +1,16 @@
 /**
  * @file
  * Console / CSV reporting shared by every bench: fixed-width tables
- * matching the rows the paper's figures plot.
+ * matching the rows the paper's figures plot, plus the machine-readable
+ * perf-tracking record (BENCH_<name>.json) every bench can emit.
  */
 #ifndef FLEETIO_HARNESS_REPORTING_H
 #define FLEETIO_HARNESS_REPORTING_H
 
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <map>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -51,6 +56,75 @@ void printExperimentDetail(const ExperimentResult &res, std::ostream &os);
 
 /** One-line fault-injection outcome; prints nothing on a clean run. */
 void printFaultSummary(const ExperimentResult &res, std::ostream &os);
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Render @p v as a JSON number ("null" for NaN/inf, which JSON lacks). */
+std::string jsonNumber(double v);
+
+/**
+ * Perf-tracking record of one bench run: a wall-clock timer started at
+ * construction, per-cell metrics, and a JSON serializer emitting the
+ * fleetio-bench-v1 schema (see DESIGN.md §7) with cells/sec and
+ * events/sec so the perf trajectory is comparable across commits.
+ *
+ * Writing is opt-in: writeIfEnabled() emits BENCH_<name>.json when
+ * --json is on the command line or FLEETIO_BENCH_JSON is set
+ * (value "0" disables; a value with a '/' is the output directory).
+ */
+class BenchReport
+{
+  public:
+    /** @p name becomes the "bench" field and the output file name. */
+    explicit BenchReport(std::string name);
+
+    /** Record one grid cell from a full experiment result. */
+    void addCell(const std::string &label, const ExperimentResult &res);
+
+    /** Record one custom cell (benches whose cells are not
+     *  ExperimentResults). @p sim_events may be 0 when unknown. */
+    void addCell(const std::string &label,
+                 const std::map<std::string, double> &metrics,
+                 std::uint64_t sim_events = 0);
+
+    /** Attach a top-level scalar (e.g. "accuracy", "events_per_sec_eq"). */
+    void setMetric(const std::string &key, double value);
+
+    /** Record the worker count the sweep ran with. */
+    void setJobs(unsigned jobs) { jobs_ = jobs; }
+
+    /** Wall seconds since construction. */
+    double elapsedSeconds() const;
+
+    /** Sum of per-cell sim_events recorded so far. */
+    std::uint64_t totalSimEvents() const;
+
+    /** Serialize the full record as JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Write BENCH_<name>.json if JSON output is enabled (see class
+     * docs) and print a one-line confirmation to @p log.
+     * @return true when a file was written.
+     */
+    bool writeIfEnabled(int argc = 0, const char *const *argv = nullptr,
+                        std::ostream &log = std::cerr) const;
+
+  private:
+    struct Cell
+    {
+        std::string label;
+        std::map<std::string, double> metrics;
+        std::uint64_t sim_events = 0;
+    };
+
+    std::string name_;
+    unsigned jobs_ = 1;
+    std::vector<Cell> cells_;
+    std::map<std::string, double> metrics_;
+    std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace fleetio
 

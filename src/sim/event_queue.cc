@@ -23,7 +23,8 @@ EventQueue::step()
     heap_.pop();
     now_ = ev.when;
     ++dispatched_;
-    ev.cb();
+    if (ev.cb)
+        ev.cb();
     return true;
 }
 

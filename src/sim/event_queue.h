@@ -8,10 +8,10 @@
 #define FLEETIO_SIM_EVENT_QUEUE_H
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 
 namespace fleetio {
@@ -22,11 +22,19 @@ namespace fleetio {
  * Events scheduled for the same timestamp fire in insertion order (FIFO),
  * which keeps runs reproducible across platforms. The queue owns the
  * simulated clock: now() only advances when events are dispatched.
+ *
+ * Callbacks are stored in an InlineFunction sized so every callback the
+ * simulator schedules (including the FlashDevice completion wrappers,
+ * which embed a nested device callback) lives inline in the heap's
+ * vector — no per-event malloc/free.
  */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capture capacity of a scheduled callback, in bytes. */
+    static constexpr std::size_t kInlineCallbackBytes = 96;
+
+    using Callback = InlineFunction<void(), kInlineCallbackBytes>;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;

@@ -65,15 +65,19 @@ FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
     if (host) {
         chan.addOutstanding();
         ++host_reads_;
+        eq_.scheduleAt(complete,
+                       [this, ch, cb = std::move(done)]() mutable {
+                           channels_[ch].removeOutstanding();
+                           if (cb)
+                               cb();
+                       });
     } else {
         ++gc_reads_;
+        // No bookkeeping on completion: schedule the callback itself
+        // (the event queue tolerates a null one), skipping a wrapper
+        // indirection.
+        eq_.scheduleAt(complete, std::move(done));
     }
-    eq_.scheduleAt(complete, [this, ch, host, cb = std::move(done)]() {
-        if (host)
-            channels_[ch].removeOutstanding();
-        if (cb)
-            cb();
-    });
     return complete;
 }
 
@@ -106,10 +110,7 @@ FlashDevice::issueProgramImpl(Ppa ppa, Callback done, bool host)
     } else {
         ++gc_writes_;
     }
-    eq_.scheduleAt(complete, [cb = std::move(done)]() {
-        if (cb)
-            cb();
-    });
+    eq_.scheduleAt(complete, std::move(done));
     return complete;
 }
 
@@ -144,10 +145,7 @@ FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
     maybeSlowDown(chp);
     const SimTime complete = chp.reserve(eq_.now(), geo_.erase_latency);
     ++erases_;
-    eq_.scheduleAt(complete, [cb = std::move(done)]() {
-        if (cb)
-            cb();
-    });
+    eq_.scheduleAt(complete, std::move(done));
     return complete;
 }
 

@@ -8,7 +8,6 @@
 #define FLEETIO_SSD_FLASH_DEVICE_H
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -46,7 +45,15 @@ struct RmapEntry
 class FlashDevice
 {
   public:
-    using Callback = std::function<void()>;
+    /**
+     * Completion callback. Sized so that the host-op wrapper the device
+     * schedules around it (callback + bookkeeping captures) still fits
+     * in the event queue's inline storage — the whole completion path
+     * is allocation-free.
+     */
+    static constexpr std::size_t kCallbackInlineBytes = 48;
+    using Callback = InlineFunction<void(), kCallbackInlineBytes>;
+    using SlotFreedFn = InlineFunction<void(ChannelId), 24>;
 
     FlashDevice(const SsdGeometry &geo, EventQueue &eq);
 
@@ -98,10 +105,7 @@ class FlashDevice
      * the op's completion callback (write transfers end while the
      * program continues in-chip). The I/O scheduler uses it to pump.
      */
-    void setOnSlotFreed(std::function<void(ChannelId)> cb)
-    {
-        on_slot_freed_ = std::move(cb);
-    }
+    void setOnSlotFreed(SlotFreedFn cb) { on_slot_freed_ = std::move(cb); }
 
     // --- Fault injection -----------------------------------------------
 
@@ -196,7 +200,7 @@ class FlashDevice
     SsdGeometry geo_;
     EventQueue &eq_;
     FaultInjector *injector_ = nullptr;
-    std::function<void(ChannelId)> on_slot_freed_;
+    SlotFreedFn on_slot_freed_;
     std::vector<Channel> channels_;
     std::vector<FlashChip> chips_;  // [channel * chips_per_channel + chip]
     std::vector<RmapEntry> rmap_;

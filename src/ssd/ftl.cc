@@ -17,9 +17,24 @@ Ftl::Ftl(FlashDevice &dev, const Config &cfg) : dev_(&dev), cfg_(cfg)
     open_points_.clear();
     // One write point per (channel, chip) so programs exploit the
     // chip-level parallelism behind each channel bus.
+    open_points_.reserve(std::size_t(cfg_.channels.size()) *
+                         geo.chips_per_channel);
     for (ChannelId ch : cfg_.channels) {
-        for (ChipId c = 0; c < geo.chips_per_channel; ++c)
-            open_points_.push_back(OpenPoint{ch, c, UINT32_MAX, false});
+        for (ChipId c = 0; c < geo.chips_per_channel; ++c) {
+            open_points_.push_back(
+                OpenPoint{ch, c, UINT32_MAX, false, &dev_->chip(ch, c)});
+        }
+    }
+    rebuildOwnChannelMask();
+}
+
+void
+Ftl::rebuildOwnChannelMask()
+{
+    own_channel_.assign(dev_->geometry().num_channels, 0);
+    for (ChannelId ch : cfg_.channels) {
+        if (ch < own_channel_.size())
+            own_channel_[ch] = 1;
     }
 }
 
@@ -28,8 +43,7 @@ Ftl::ensureOpen(OpenPoint &pt)
 {
     const auto &geo = dev_->geometry();
     if (pt.valid) {
-        const FlashBlock &blk = dev_->chip(pt.channel, pt.chip)
-                                    .block(pt.block);
+        const FlashBlock &blk = pt.chp->block(pt.block);
         if (!blk.isFull(geo.pages_per_block) &&
             blk.state == BlockState::kOpen) {
             return true;
@@ -40,13 +54,13 @@ Ftl::ensureOpen(OpenPoint &pt)
         return false;  // quota exhausted; GC must reclaim first
     // Prefer the point's own chip; fall back to any chip on the
     // channel when it has no free block.
-    BlockId blk = dev_->chip(pt.channel, pt.chip)
-                      .allocateBlock(cfg_.vssd);
+    BlockId blk = pt.chp->allocateBlock(cfg_.vssd);
     if (blk == UINT32_MAX) {
         ChipId chip;
         if (!dev_->allocateBlock(pt.channel, cfg_.vssd, chip, blk))
             return false;  // channel physically out of free blocks
         pt.chip = chip;
+        pt.chp = &dev_->chip(pt.channel, chip);
     }
     pt.block = blk;
     pt.valid = true;
@@ -57,7 +71,7 @@ Ftl::ensureOpen(OpenPoint &pt)
 bool
 Ftl::programWithFaultCheck(OpenPoint &pt, Ppa &out)
 {
-    FlashChip &chp = dev_->chip(pt.channel, pt.chip);
+    FlashChip &chp = *pt.chp;
     const PageId pg = chp.programNextPage(pt.block);
     FaultInjector *fi = dev_->faultInjector();
     if (fi != nullptr && fi->programFails(chp.block(pt.block))) {
@@ -85,20 +99,23 @@ Ftl::allocateOwnPage(Ppa &out)
     // load-based choice would pile queued writes onto whichever chip
     // looked idle; round-robin stripes them evenly by construction.
     const std::size_t n = open_points_.size();
+    std::size_t i = rr_cursor_ < n ? rr_cursor_ : 0;
     for (std::size_t k = 0; k < n; ++k) {
-        const std::size_t i = (rr_cursor_ + k) % n;
         OpenPoint &pt = open_points_[i];
-        if (!ensureOpen(pt))
-            continue;
-        if (!programWithFaultCheck(pt, out)) {
-            // Re-program on the same point first (a fresh block on the
-            // same chip keeps the striping even); fall through to the
-            // next point when the chip is out of blocks or fails again.
-            if (!ensureOpen(pt) || !programWithFaultCheck(pt, out))
-                continue;
+        bool ok = ensureOpen(pt) && (programWithFaultCheck(pt, out) ||
+                                     // Re-program on the same point first
+                                     // (a fresh block on the same chip
+                                     // keeps the striping even); fall
+                                     // through to the next point when the
+                                     // chip is out of blocks or fails
+                                     // again.
+                                     (ensureOpen(pt) &&
+                                      programWithFaultCheck(pt, out)));
+        if (ok) {
+            rr_cursor_ = i + 1 < n ? i + 1 : 0;
+            return true;
         }
-        rr_cursor_ = (i + 1) % n;
-        return true;
+        i = i + 1 < n ? i + 1 : 0;
     }
     return false;
 }
@@ -220,8 +237,7 @@ Ftl::allocateFallback(Ppa &out)
     if (blocks_used_ >= cfg_.quota_blocks)
         return false;
     if (relo_point_.valid) {
-        FlashChip &chp = dev_->chip(relo_point_.channel,
-                                    relo_point_.chip);
+        FlashChip &chp = *relo_point_.chp;
         const FlashBlock &blk = chp.block(relo_point_.block);
         if (blk.state == BlockState::kOpen &&
             !blk.isFull(geo.pages_per_block) &&
@@ -250,7 +266,8 @@ Ftl::allocateFallback(Ppa &out)
         if (!dev_->allocateBlock(best, cfg_.vssd, chip, blk))
             return false;
         ++blocks_used_;
-        relo_point_ = OpenPoint{best, chip, blk, true};
+        relo_point_ =
+            OpenPoint{best, chip, blk, true, &dev_->chip(best, chip)};
         if (programWithFaultCheck(relo_point_, out))
             return true;
     }
@@ -307,16 +324,18 @@ Ftl::setChannels(const std::vector<ChannelId> &channels)
                 kept.push_back(*it);
                 it->valid = false;  // consumed; don't close below
             } else {
-                kept.push_back(OpenPoint{ch, c, UINT32_MAX, false});
+                kept.push_back(OpenPoint{ch, c, UINT32_MAX, false,
+                                         &dev_->chip(ch, c)});
             }
         }
     }
     for (const OpenPoint &pt : open_points_) {
         if (pt.valid)
-            dev_->chip(pt.channel, pt.chip).closeBlock(pt.block);
+            pt.chp->closeBlock(pt.block);
     }
     open_points_ = std::move(kept);
     rr_cursor_ = 0;
+    rebuildOwnChannelMask();
 }
 
 double

@@ -120,6 +120,12 @@ class Ftl
     void setChannels(const std::vector<ChannelId> &channels);
     const std::vector<ChannelId> &channels() const { return cfg_.channels; }
 
+    /** O(1) own-channel membership (hot path: per-page-op routing). */
+    bool ownsChannel(ChannelId ch) const
+    {
+        return ch < own_channel_.size() && own_channel_[ch] != 0;
+    }
+
     // --- Telemetry ---------------------------------------------------------
 
     std::uint64_t quotaBlocks() const { return cfg_.quota_blocks; }
@@ -150,6 +156,7 @@ class Ftl
         ChipId chip;                 ///< preferred chip (parallelism)
         BlockId block = UINT32_MAX;
         bool valid = false;
+        FlashChip *chp = nullptr;    ///< cached &dev->chip(channel, chip)
     };
 
     /** Get or open the write block of one (channel, chip) point. */
@@ -169,6 +176,7 @@ class Ftl
      *  resource; channel ownership governs bandwidth). */
     bool allocateFallback(Ppa &out);
     void installMapping(Lpa lpa, Ppa ppa);
+    void rebuildOwnChannelMask();
 
     FlashDevice *dev_;
     Config cfg_;
@@ -177,8 +185,11 @@ class Ftl
     std::vector<OpenPoint> open_points_;
     /** Device-wide fallback write point for GC relocation when the
      *  own channels are physically full. */
-    OpenPoint relo_point_{0, 0, UINT32_MAX, false};
+    OpenPoint relo_point_{0, 0, UINT32_MAX, false, nullptr};
     std::vector<ExternalWriteSource *> externals_;
+    /** Flat own-channel membership mask, kept in sync with
+     *  cfg_.channels (hot-path replacement for std::find). */
+    std::vector<std::uint8_t> own_channel_;
     std::uint64_t blocks_used_ = 0;
     std::uint64_t live_pages_ = 0;
     std::uint64_t program_fail_repairs_ = 0;

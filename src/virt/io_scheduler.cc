@@ -92,9 +92,7 @@ IoScheduler::enqueuePage(IoRequestPtr req, Lpa lpa)
 bool
 IoScheduler::isForeign(const Ftl &ftl, Ppa ppa) const
 {
-    const ChannelId ch = dev_.geometry().channelOf(ppa);
-    const auto &own = ftl.channels();
-    return std::find(own.begin(), own.end(), ch) == own.end();
+    return !ftl.ownsChannel(dev_.geometry().channelOf(ppa));
 }
 
 void

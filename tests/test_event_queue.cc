@@ -1,6 +1,8 @@
 /** @file Unit tests for the discrete-event queue. */
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -99,6 +101,102 @@ TEST(EventQueue, ScheduleAfterIsRelativeToNow)
     });
     eq.runAll();
     EXPECT_EQ(observed, msec(1) + usec(500));
+}
+
+TEST(EventQueue, AcceptsMoveOnlyCaptures)
+{
+    EventQueue eq;
+    auto box = std::make_unique<int>(41);
+    int seen = 0;
+    eq.scheduleAt(usec(1),
+                  [&seen, b = std::move(box)]() { seen = *b + 1; });
+    eq.runAll();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeapAndStillRun)
+{
+    // A capture larger than the inline buffer must box, not truncate.
+    static_assert(sizeof(std::array<std::uint64_t, 40>) >
+                  EventQueue::kInlineCallbackBytes);
+    EventQueue eq;
+    std::array<std::uint64_t, 40> big{};
+    big.front() = 7;
+    big.back() = 35;
+    std::uint64_t sum = 0;
+    eq.scheduleAt(usec(1),
+                  [&sum, big]() { sum = big.front() + big.back(); });
+    eq.runAll();
+    EXPECT_EQ(sum, 42u);
+}
+
+TEST(EventQueue, FifoWithinTimestampAcrossCaptureSizes)
+{
+    // Insertion order must hold even when inline and heap-boxed
+    // callbacks interleave at one timestamp.
+    EventQueue eq;
+    std::vector<int> order;
+    std::array<std::uint64_t, 40> big{};
+    for (int i = 0; i < 6; ++i) {
+        if (i % 2 == 0) {
+            eq.scheduleAt(usec(5), [&order, i] { order.push_back(i); });
+        } else {
+            eq.scheduleAt(usec(5),
+                          [&order, i, big] { order.push_back(i); });
+        }
+    }
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueue, NullCallbacksDispatchAsNoOps)
+{
+    // The device paths schedule raw (possibly-null) callbacks; a null
+    // event must advance the clock and count without crashing.
+    EventQueue eq;
+    eq.scheduleAt(usec(3), EventQueue::Callback());
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.runAll();
+    EXPECT_EQ(eq.now(), usec(3));
+    EXPECT_EQ(eq.dispatched(), 1u);
+}
+
+TEST(InlineFunction, ConvertingConstructorPreservesNull)
+{
+    // A smaller-capacity null callable widened into a larger one must
+    // stay null (the device hands null completions to the queue).
+    InlineFunction<void(), 24> small;
+    EXPECT_FALSE(small);
+    EventQueue::Callback widened(std::move(small));
+    EXPECT_FALSE(widened);
+
+    InlineFunction<void(), 24> set([] {});
+    EventQueue::Callback widened_set(std::move(set));
+    EXPECT_TRUE(widened_set);
+}
+
+TEST(InlineFunction, MoveTransfersOwnershipOnce)
+{
+    int calls = 0;
+    InlineFunction<void(), 32> a([&calls] { ++calls; });
+    InlineFunction<void(), 32> b(std::move(a));
+    EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): null-state check
+    ASSERT_TRUE(b);
+    b();
+    EXPECT_EQ(calls, 1);
+
+    // Heap-boxed case: destructor of the box runs exactly once.
+    auto token = std::make_shared<int>(0);
+    std::weak_ptr<int> watch = token;
+    {
+        std::array<std::uint64_t, 40> big{};
+        InlineFunction<void(), 32> c(
+            [t = std::move(token), big]() { ++*t; });
+        InlineFunction<void(), 32> d(std::move(c));
+        d();
+        EXPECT_FALSE(watch.expired());
+    }
+    EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace

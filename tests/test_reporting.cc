@@ -1,6 +1,7 @@
 /** @file Tests for the reporting helpers. */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "src/harness/reporting.h"
@@ -75,6 +76,59 @@ TEST(Reporting, SummaryAndDetailRender)
     EXPECT_NE(out.find("TestPolicy"), std::string::npos);
     EXPECT_NE(out.find("YCSB"), std::string::npos);
     EXPECT_NE(out.find("25.0%"), std::string::npos);
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NumbersNeverEmitNanOrInf)
+{
+    EXPECT_EQ(jsonNumber(0.0 / 0.0), "null");
+    EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");
+    EXPECT_EQ(jsonNumber(2.5), "2.5");
+}
+
+TEST(BenchReport, WritesSchemaCellsAndMetrics)
+{
+    BenchReport report("unit");
+    report.setJobs(3);
+    report.addCell("cell-a", {{"x", 1.5}}, 100);
+    ExperimentResult res;
+    res.policy = "P";
+    res.avg_util = 0.5;
+    res.sim_events = 900;
+    report.addCell("cell-b", res);
+    report.setMetric("accuracy", 0.75);
+
+    EXPECT_EQ(report.totalSimEvents(), 1000u);
+    EXPECT_GE(report.elapsedSeconds(), 0.0);
+
+    std::ostringstream os;
+    report.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"schema\": \"fleetio-bench-v1\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"bench\": \"unit\""), std::string::npos);
+    EXPECT_NE(out.find("\"jobs\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"cells\": 2"), std::string::npos);
+    EXPECT_NE(out.find("\"sim_events\": 1000"), std::string::npos);
+    EXPECT_NE(out.find("\"accuracy\": 0.75"), std::string::npos);
+    EXPECT_NE(out.find("cell-a"), std::string::npos);
+    EXPECT_NE(out.find("cell-b / P"), std::string::npos);
+}
+
+TEST(BenchReport, WriteIfEnabledIsOffByDefault)
+{
+    // No --json flag and no env: nothing is written.
+    unsetenv("FLEETIO_BENCH_JSON");
+    BenchReport report("unit_disabled");
+    std::ostringstream log;
+    EXPECT_FALSE(report.writeIfEnabled(0, nullptr, log));
+    EXPECT_TRUE(log.str().empty());
 }
 
 }  // namespace
