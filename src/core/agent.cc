@@ -19,6 +19,9 @@ FleetIoAgent::decide(const rl::Vector &state)
 {
     const auto res = net_.act(state, rng_, deterministic_);
     ++decisions_;
+    last_entropy_ = res.entropy;
+    last_log_prob_ = res.log_prob;
+    last_value_ = res.value;
 
     if (training_) {
         pending_ = rl::Transition{};
@@ -81,6 +84,66 @@ FleetIoAgent::imitate(const rl::Vector &state,
         }
         bc_opt_->step();
     }
+}
+
+rl::AgentCheckpoint
+FleetIoAgent::snapshot() const
+{
+    rl::AgentCheckpoint c;
+    c.params = net_.params().rawValues();
+    const rl::Adam &opt = trainer_.optimizer();
+    c.adam_m = opt.firstMoments();
+    c.adam_v = opt.secondMoments();
+    // Adam lazily grows its moments; a never-trained agent checkpoints
+    // zero moments of the full parameter size.
+    c.adam_m.resize(c.params.size(), 0.0);
+    c.adam_v.resize(c.params.size(), 0.0);
+    c.adam_t = opt.t();
+    c.alpha = alpha_;
+    c.decisions = decisions_;
+    c.policy_rng = rng_.state();
+    c.shuffle_rng = trainer_.shuffleRng().state();
+    return c;
+}
+
+namespace {
+
+bool
+anySet(const std::array<std::uint64_t, 4> &s)
+{
+    return (s[0] | s[1] | s[2] | s[3]) != 0;
+}
+
+}  // namespace
+
+bool
+FleetIoAgent::restore(const rl::AgentCheckpoint &ckpt)
+{
+    if (ckpt.params.size() != net_.params().size() ||
+        !ckpt.wellFormed()) {
+        return false;
+    }
+    net_.params().rawValues() = ckpt.params;
+    trainer_.optimizer().restoreState(ckpt.adam_m, ckpt.adam_v,
+                                      ckpt.adam_t);
+    alpha_ = ckpt.alpha;
+    decisions_ = ckpt.decisions;
+    // All-zero RNG words mean "not captured" (e.g. a hand-built
+    // checkpoint): keep the live generators rather than restoring
+    // xoshiro's absorbing state.
+    if (anySet(ckpt.policy_rng))
+        rng_.setState(ckpt.policy_rng);
+    if (anySet(ckpt.shuffle_rng))
+        trainer_.shuffleRng().setState(ckpt.shuffle_rng);
+    resetEpisode();
+    return true;
+}
+
+void
+FleetIoAgent::resetEpisode()
+{
+    rollout_.clear();
+    has_pending_ = false;
 }
 
 rl::PpoTrainer::Stats

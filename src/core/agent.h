@@ -14,6 +14,7 @@
 #include "src/core/action.h"
 #include "src/rl/adam.h"
 #include "src/core/config.h"
+#include "src/rl/checkpoint.h"
 #include "src/rl/policy_network.h"
 #include "src/rl/ppo.h"
 #include "src/rl/rollout_buffer.h"
@@ -86,6 +87,30 @@ class FleetIoAgent
     rl::PolicyNetwork &policy() { return net_; }
     const rl::PolicyNetwork &policy() const { return net_; }
     const ActionMapper &mapper() const { return mapper_; }
+    const rl::PpoTrainer &trainer() const { return trainer_; }
+
+    /** Diagnostics of the most recent decide() (watchdog signals). */
+    double lastEntropy() const { return last_entropy_; }
+    double lastLogProb() const { return last_log_prob_; }
+    double lastValue() const { return last_value_; }
+
+    /**
+     * Capture the full learning state (weights, Adam moments, alpha,
+     * step counters) for checkpointing.
+     */
+    rl::AgentCheckpoint snapshot() const;
+
+    /**
+     * Restore a previously captured state. Rejects checkpoints whose
+     * shapes disagree with this agent or that hold non-finite values;
+     * on rejection the live state is untouched. A successful restore
+     * also drops the rollout and any pending transition (experience
+     * gathered under the discarded weights is off-policy garbage).
+     */
+    bool restore(const rl::AgentCheckpoint &ckpt);
+
+    /** Drop the rollout buffer and any pending transition. */
+    void resetEpisode();
 
     bool savePolicy(const std::string &path) const
     {
@@ -122,6 +147,9 @@ class FleetIoAgent
     bool has_pending_ = false;
     rl::Transition pending_;
     std::uint64_t decisions_ = 0;
+    double last_entropy_ = 0.0;
+    double last_log_prob_ = 0.0;
+    double last_value_ = 0.0;
 };
 
 }  // namespace fleetio

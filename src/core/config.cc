@@ -14,6 +14,28 @@ FleetIoConfig::alphaForCluster(int cluster) const
 }
 
 std::string
+SupervisorConfig::validate() const
+{
+    if (reward_limit <= 0.0)
+        return "supervisor.reward_limit must be positive";
+    if (entropy_floor < 0.0)
+        return "supervisor.entropy_floor must be non-negative";
+    if (entropy_windows < 1)
+        return "supervisor.entropy_windows must be at least 1";
+    if (slo_vio_trip <= 0.0 || slo_vio_trip > 1.0)
+        return "supervisor.slo_vio_trip must be in (0, 1]";
+    if (slo_streak_windows < 1)
+        return "supervisor.slo_streak_windows must be at least 1";
+    if (probation_windows < 1)
+        return "supervisor.probation_windows must be at least 1";
+    if (snapshot_interval_windows < 1)
+        return "supervisor.snapshot_interval_windows must be at least 1";
+    if (max_restores < 0)
+        return "supervisor.max_restores must be non-negative";
+    return {};
+}
+
+std::string
 FleetIoConfig::validate() const
 {
     if (decision_window <= 0)
@@ -50,6 +72,8 @@ FleetIoConfig::validate() const
         if (h == 0)
             return "hidden_sizes entries must be positive";
     }
+    if (const std::string err = supervisor.validate(); !err.empty())
+        return err;
     return {};
 }
 

@@ -15,6 +15,46 @@
 
 namespace fleetio {
 
+/**
+ * Tunables of the per-agent watchdog (see src/core/agent_supervisor.h
+ * and DESIGN.md §8). Defaults are deliberately conservative: a healthy
+ * training run never trips, so supervised and unsupervised runs are
+ * action-for-action identical until something actually diverges.
+ */
+struct SupervisorConfig
+{
+    /** Master switch; disabled reproduces the pre-supervision loop. */
+    bool enabled = true;
+
+    /** |blended reward| above this trips the reward-divergence check
+     *  (healthy Eq. 1/Eq. 2 rewards live in single digits). */
+    double reward_limit = 1e3;
+
+    /** Policy entropy (nats, summed over heads) below this for
+     *  entropy_windows consecutive windows trips entropy collapse. */
+    double entropy_floor = 0.01;
+    int entropy_windows = 8;
+
+    /** Window SLO-violation fraction at/above this for
+     *  slo_streak_windows consecutive windows trips the SLO check. */
+    double slo_vio_trip = 0.95;
+    int slo_streak_windows = 40;
+
+    /** Decision windows a quarantined agent runs the deterministic
+     *  fallback before learning is re-enabled. */
+    int probation_windows = 10;
+
+    /** In-memory last-good snapshot cadence (decision windows). */
+    int snapshot_interval_windows = 20;
+
+    /** Consecutive trips handled by checkpoint restore before the
+     *  agent is reinitialized to its initial weights instead. */
+    int max_restores = 2;
+
+    /** @return empty string when valid, else the first problem. */
+    std::string validate() const;
+};
+
 /** Tunables of the FleetIO RL framework. */
 struct FleetIoConfig
 {
@@ -66,6 +106,9 @@ struct FleetIoConfig
 
     /** PPO hyper-parameters (Table 3: lr 1e-4, gamma 0.9, batch 32). */
     rl::PpoTrainer::Config ppo{};
+
+    /** Agent watchdog / quarantine knobs (DESIGN.md §8). */
+    SupervisorConfig supervisor{};
 
     /** RL states tracked per window (Table 1's nine + two shared). */
     static constexpr std::size_t kStatesPerWindow = 11;

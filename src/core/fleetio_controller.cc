@@ -2,11 +2,38 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "src/core/teacher.h"
 
 namespace fleetio {
+
+namespace {
+
+/**
+ * FLEETIO_CHECKPOINT_INTERVAL_WINDOWS, validated like the other env
+ * knobs: a strictly positive decimal integer with no trailing garbage.
+ * Anything else falls back to @p fallback.
+ */
+int
+checkpointIntervalFromEnv(int fallback)
+{
+    const char *env = std::getenv("FLEETIO_CHECKPOINT_INTERVAL_WINDOWS");
+    if (env == nullptr || *env == '\0')
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0' || v < 1 ||
+        v > 1000000000L) {
+        return fallback;
+    }
+    return int(v);
+}
+
+}  // namespace
 
 FleetIoController::FleetIoController(const FleetIoConfig &cfg,
                                      EventQueue &eq, VssdManager &vssds,
@@ -21,6 +48,27 @@ FleetIoController::FleetIoController(const FleetIoConfig &cfg,
     const std::string err = cfg_.validate();
     if (!err.empty())
         throw std::invalid_argument("FleetIoConfig: " + err);
+    if (cfg_.supervisor.enabled) {
+        supervisor_ =
+            std::make_unique<AgentSupervisor>(cfg_.supervisor, gsb_);
+    }
+    if (const char *dir = std::getenv("FLEETIO_CHECKPOINT_DIR");
+        dir != nullptr && *dir != '\0') {
+        checkpoint_dir_ = dir;
+        checkpoint_interval_ = checkpointIntervalFromEnv(200);
+    }
+}
+
+void
+FleetIoController::attachStore(Managed &m)
+{
+    if (checkpoint_dir_.empty()) {
+        m.store.reset();
+        return;
+    }
+    m.store = std::make_unique<rl::CheckpointStore>(
+        checkpoint_dir_ + "/agent-" + std::to_string(m.vssd->id()) +
+        ".ckpt");
 }
 
 FleetIoAgent &
@@ -32,9 +80,68 @@ FleetIoController::addVssd(Vssd &vssd, double alpha)
                                              seed_counter_);
     seed_counter_ = seed_counter_ * 6364136223846793005ull + 1442695040888963407ull;
     m.agent->setAlpha(alpha);
+    attachStore(m);
     managed_.push_back(std::move(m));
     agents_.push_back(managed_.back().agent.get());
+    if (supervisor_ != nullptr)
+        supervisor_->attach(*managed_.back().agent, vssd);
     return *managed_.back().agent;
+}
+
+void
+FleetIoController::setCheckpointDir(const std::string &dir,
+                                    int interval_windows)
+{
+    checkpoint_dir_ = dir;
+    checkpoint_interval_ = std::max(interval_windows, 0);
+    for (auto &m : managed_)
+        attachStore(m);
+}
+
+std::size_t
+FleetIoController::saveCheckpoints()
+{
+    std::size_t saved = 0;
+    for (auto &m : managed_) {
+        if (m.store == nullptr)
+            continue;
+        const rl::AgentCheckpoint ckpt = m.agent->snapshot();
+        // A diverged agent never overwrites its on-disk last-good.
+        if (ckpt.wellFormed() && m.store->save(ckpt))
+            ++saved;
+    }
+    disk_checkpoints_ += saved;
+    return saved;
+}
+
+std::size_t
+FleetIoController::loadCheckpoints()
+{
+    std::size_t restored = 0;
+    for (auto &m : managed_) {
+        if (m.store == nullptr)
+            continue;
+        rl::AgentCheckpoint ckpt;
+        if (m.store->load(ckpt) == rl::CheckpointError::kOk &&
+            m.agent->restore(ckpt)) {
+            ++restored;
+        }
+    }
+    return restored;
+}
+
+SupervisionStats
+FleetIoController::supervisionStats() const
+{
+    SupervisionStats s;
+    if (supervisor_ != nullptr) {
+        s = supervisor_->stats();
+    } else {
+        for (const auto &m : managed_)
+            s.grad_skips += m.agent->trainer().skippedUpdates();
+    }
+    s.disk_checkpoints = disk_checkpoints_;
+    return s;
 }
 
 FleetIoAgent *
@@ -50,6 +157,12 @@ FleetIoController::agent(VssdId id)
 void
 FleetIoController::setTraining(bool on)
 {
+    if (supervisor_ != nullptr) {
+        // Route through the watchdog so a quarantined agent stays
+        // frozen until its probation ends.
+        supervisor_->setTrainingEnabled(on);
+        return;
+    }
     for (auto &m : managed_)
         m.agent->setTraining(on);
 }
@@ -161,8 +274,12 @@ FleetIoController::tick()
         Managed &m = managed_[i];
         FleetIoAgent &agent = *m.agent;
 
-        agent.completeTransition(rewards[i]);
-        m.reward_sum += rewards[i];
+        double reward = rewards[i];
+        if (reward_hook_)
+            reward = reward_hook_(m.vssd->id(), reward);
+
+        agent.completeTransition(reward);
+        m.reward_sum += reward;
         ++m.reward_count;
 
         if (classifier_ != nullptr && feature_provider_) {
@@ -191,8 +308,12 @@ FleetIoController::tick()
                 cfg_.decision_window, cfg_);
             // Value target: discounted return of a steady reward.
             const double vt =
-                rewards[i] / (1.0 - cfg_.ppo.gamma);
+                reward / (1.0 - cfg_.ppo.gamma);
             agent.imitate(state, agent.mapper().encode(action), vt);
+            applyAction(m, action);
+        } else if (supervisor_ != nullptr) {
+            const AgentAction action = supervisor_->decide(
+                m.vssd->id(), state, reward, vio[i]);
             applyAction(m, action);
         } else {
             const AgentAction action = agent.decide(state);
@@ -212,6 +333,12 @@ FleetIoController::tick()
         for (auto &m : managed_) {
             m.agent->train(extractor_.stacked(m.vssd->id()));
         }
+    }
+
+    // 6. Periodic crash-safe checkpoints (FLEETIO_CHECKPOINT_DIR).
+    if (checkpoint_interval_ > 0 && !checkpoint_dir_.empty() &&
+        windows_ % std::uint64_t(checkpoint_interval_) == 0) {
+        saveCheckpoints();
     }
 }
 

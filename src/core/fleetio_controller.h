@@ -14,14 +14,18 @@
 #include <optional>
 #include <vector>
 
+#include <string>
+
 #include "src/cluster/features.h"
 #include "src/cluster/workload_classifier.h"
 #include "src/core/admission_control.h"
 #include "src/core/agent.h"
+#include "src/core/agent_supervisor.h"
 #include "src/core/config.h"
 #include "src/core/reward.h"
 #include "src/core/state_extractor.h"
 #include "src/harvest/gsb_manager.h"
+#include "src/rl/checkpoint.h"
 #include "src/virt/vssd.h"
 
 namespace fleetio {
@@ -38,6 +42,9 @@ class FleetIoController
      *  (returns nothing when too little trace accumulated). */
     using FeatureProvider =
         std::function<std::optional<IoFeatures>(VssdId)>;
+
+    /** Per-window reward transform (fault benches inject spikes). */
+    using RewardHook = std::function<double(VssdId, double)>;
 
     FleetIoController(const FleetIoConfig &cfg, EventQueue &eq,
                       VssdManager &vssds, GsbManager &gsb);
@@ -78,17 +85,49 @@ class FleetIoController
     /** Mean blended reward observed over the run, per agent. */
     double lifetimeMeanReward(VssdId id) const;
 
+    /** The watchdog, or nullptr when cfg.supervisor.enabled is false. */
+    AgentSupervisor *supervisor() { return supervisor_.get(); }
+    const AgentSupervisor *supervisor() const { return supervisor_.get(); }
+
+    /**
+     * Install a reward transform applied to each agent's blended reward
+     * before it reaches the rollout buffer and the supervisor. Fault
+     * benches use it to inject divergent reward spikes.
+     */
+    void setRewardHook(RewardHook hook) { reward_hook_ = std::move(hook); }
+
+    /**
+     * Enable periodic on-disk checkpoints under @p dir (one rotating
+     * CheckpointStore per managed vSSD, "agent-<id>.ckpt"), every
+     * @p interval_windows decision windows. Also configurable via the
+     * FLEETIO_CHECKPOINT_DIR / FLEETIO_CHECKPOINT_INTERVAL_WINDOWS
+     * environment knobs (read at construction; this call overrides).
+     */
+    void setCheckpointDir(const std::string &dir, int interval_windows);
+
+    /** Snapshot every agent to its store now. @return agents saved. */
+    std::size_t saveCheckpoints();
+
+    /** Restore every agent whose store holds a valid snapshot.
+     *  @return agents restored. */
+    std::size_t loadCheckpoints();
+
+    /** Aggregated supervision / resilience counters for reporting. */
+    SupervisionStats supervisionStats() const;
+
   private:
     struct Managed
     {
         Vssd *vssd;
         std::unique_ptr<FleetIoAgent> agent;
+        std::unique_ptr<rl::CheckpointStore> store;
         double reward_sum = 0.0;
         std::uint64_t reward_count = 0;
     };
 
     void scheduleTick();
     void applyAction(Managed &m, const AgentAction &action);
+    void attachStore(Managed &m);
 
     FleetIoConfig cfg_;
     EventQueue &eq_;
@@ -101,6 +140,12 @@ class FleetIoController
 
     const WorkloadClassifier *classifier_ = nullptr;
     FeatureProvider feature_provider_;
+
+    std::unique_ptr<AgentSupervisor> supervisor_;
+    RewardHook reward_hook_;
+    std::string checkpoint_dir_;
+    int checkpoint_interval_ = 0;
+    std::uint64_t disk_checkpoints_ = 0;
 
     bool running_ = false;
     std::uint64_t windows_ = 0;

@@ -164,6 +164,7 @@ runExperiment(const ExperimentSpec &spec)
         t.slo = v->config().slo;
         res.tenants.push_back(std::move(t));
     }
+    policy->collectStats(res);
     return res;
 }
 

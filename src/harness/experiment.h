@@ -45,6 +45,16 @@ struct ExperimentResult
     std::uint64_t program_fail_repairs = 0;
     std::uint64_t gsb_revokes = 0;
 
+    /** Agent-supervision outcome (all zero for non-RL policies and for
+     *  healthy supervised runs; see DESIGN.md §8). */
+    std::uint64_t agent_trips = 0;
+    std::uint64_t agent_restores = 0;
+    std::uint64_t agent_reinits = 0;
+    std::uint64_t agent_fallback_windows = 0;
+    std::uint64_t agent_lease_releases = 0;
+    std::uint64_t agent_grad_skips = 0;
+    std::uint64_t agent_checkpoints = 0;  ///< on-disk saves
+
     /** Simulation events dispatched over the whole run (warm-up +
      *  prepare + measure) — the denominator of events/sec perf
      *  tracking. Deterministic for a fixed spec. */

@@ -1,11 +1,29 @@
 #include "src/harness/parallel.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <iostream>
 
 namespace fleetio {
+
+unsigned
+parallelJobCount(const char *value, unsigned fallback)
+{
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    // strtol tolerates leading whitespace and signs; a job count is a
+    // bare decimal integer, so anything else is garbage.
+    if (!std::isdigit(static_cast<unsigned char>(*value)))
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (errno != 0 || end == value || *end != '\0' || v < 1 || v > 4096)
+        return fallback;
+    return unsigned(v);
+}
 
 unsigned
 benchJobs()
@@ -16,17 +34,15 @@ benchJobs()
         const char *env = std::getenv("FLEETIO_BENCH_JOBS");
         if (env == nullptr || *env == '\0')
             return hw;
-        errno = 0;
-        char *end = nullptr;
-        const long v = std::strtol(env, &end, 10);
-        if (errno != 0 || end == env || *end != '\0' || v < 1 ||
-            v > 4096) {
+        // 0 is itself invalid, so it doubles as the "rejected" signal.
+        const unsigned parsed = parallelJobCount(env, 0);
+        if (parsed == 0) {
             std::cerr << "warning: ignoring invalid FLEETIO_BENCH_JOBS='"
                       << env << "' (want an integer in [1,4096]); using "
                       << hw << "\n";
             return hw;
         }
-        return unsigned(v);
+        return parsed;
     }();
     return jobs;
 }

@@ -27,6 +27,15 @@
 namespace fleetio {
 
 /**
+ * Parse a FLEETIO_BENCH_JOBS-style value: a decimal integer in
+ * [1, 4096] with no leading/trailing garbage. Returns @p fallback for
+ * nullptr/empty/malformed/overflowing/out-of-range input ("4x", "1e3",
+ * " 8 ", "99999999999999999999", "0", "-2" all fall back). Pure and
+ * environment-free, so tests can exercise every rejection path.
+ */
+unsigned parallelJobCount(const char *value, unsigned fallback);
+
+/**
  * Worker-thread count for parallel sweeps: FLEETIO_BENCH_JOBS when set
  * to a valid positive integer (garbage values warn once and fall
  * through), else std::thread::hardware_concurrency(), never less

@@ -122,6 +122,7 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
        << fmtPercent(res.p95_util)
        << " write-amp=" << fmtDouble(res.write_amp) << "\n";
     printFaultSummary(res, os);
+    printSupervisionSummary(res, os);
     os << '\n';
 }
 
@@ -181,6 +182,18 @@ BenchReport::addCell(const std::string &label,
     if (res.faults.total() != 0) {
         c.metrics["fault_events"] = double(res.faults.total());
         c.metrics["blocks_retired"] = double(res.blocks_retired);
+    }
+    if (res.agent_trips != 0 || res.agent_grad_skips != 0 ||
+        res.agent_checkpoints != 0) {
+        c.metrics["agent_trips"] = double(res.agent_trips);
+        c.metrics["agent_restores"] = double(res.agent_restores);
+        c.metrics["agent_reinits"] = double(res.agent_reinits);
+        c.metrics["agent_fallback_windows"] =
+            double(res.agent_fallback_windows);
+        c.metrics["agent_lease_releases"] =
+            double(res.agent_lease_releases);
+        c.metrics["agent_grad_skips"] = double(res.agent_grad_skips);
+        c.metrics["agent_checkpoints"] = double(res.agent_checkpoints);
     }
     // The policy travels in the label-free metrics map as a side
     // string; keep it in the label instead when the caller didn't.
@@ -307,6 +320,22 @@ printFaultSummary(const ExperimentResult &res, std::ostream &os)
        << " retired-blocks=" << res.blocks_retired
        << " slowdowns=" << res.faults.slowdown_windows
        << " gsb-revokes=" << res.gsb_revokes << '\n';
+}
+
+void
+printSupervisionSummary(const ExperimentResult &res, std::ostream &os)
+{
+    if (res.agent_trips == 0 && res.agent_grad_skips == 0 &&
+        res.agent_checkpoints == 0) {
+        return;
+    }
+    os << "supervision: trips=" << res.agent_trips
+       << " restores=" << res.agent_restores
+       << " reinits=" << res.agent_reinits
+       << " fallback-windows=" << res.agent_fallback_windows
+       << " lease-releases=" << res.agent_lease_releases
+       << " grad-skips=" << res.agent_grad_skips
+       << " checkpoints=" << res.agent_checkpoints << '\n';
 }
 
 }  // namespace fleetio

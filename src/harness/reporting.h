@@ -57,6 +57,11 @@ void printExperimentDetail(const ExperimentResult &res, std::ostream &os);
 /** One-line fault-injection outcome; prints nothing on a clean run. */
 void printFaultSummary(const ExperimentResult &res, std::ostream &os);
 
+/** One-line agent-supervision outcome (trips / restores / fallback
+ *  windows / lease releases); prints nothing on a healthy run. */
+void printSupervisionSummary(const ExperimentResult &res,
+                             std::ostream &os);
+
 /** Escape @p s for embedding in a JSON string literal. */
 std::string jsonEscape(const std::string &s);
 

@@ -339,6 +339,28 @@ GsbManager::makeHarvestable(VssdId home_id, double gsb_bw_mbps)
 }
 
 std::uint32_t
+GsbManager::forceReleaseHeld(VssdId harvester_id)
+{
+    std::vector<Gsb *> held;
+    for (auto &[id, g] : gsbs_) {
+        if (g->inUse() && g->harvestVssd() == harvester_id &&
+            !g->reclaiming()) {
+            held.push_back(g.get());
+        }
+    }
+    std::uint32_t channels = 0;
+    for (Gsb *g : held) {
+        channels += g->numChannels();
+        // reclaimLazily detaches the harvester's write path right away
+        // (no new data lands in the gSB) and releases never-written
+        // blocks instantly; the rest drain through the home GC.
+        reclaimLazily(g);
+        ++force_released_;
+    }
+    return channels;
+}
+
+std::uint32_t
 GsbManager::harvest(VssdId harvester_id, double gsb_bw_mbps)
 {
     Vssd *harvester = vssds_.get(harvester_id);

@@ -83,6 +83,17 @@ class GsbManager
      */
     bool revokeUnderPressure(VssdId home);
 
+    /**
+     * Quarantine path: forcibly release every gSB currently harvested
+     * by @p harvester (including spent ones), detaching its write path
+     * immediately and routing the blocks back to their donors through
+     * the usual lazy reclamation. After this call heldChannels(
+     * harvester) is zero — the donors' bandwidth starts recovering
+     * within the same decision window.
+     * @return channels released.
+     */
+    std::uint32_t forceReleaseHeld(VssdId harvester);
+
     /** Telemetry: gSBs created / harvested / reclaimed so far. */
     std::uint64_t createdCount() const { return created_; }
     std::uint64_t harvestedCount() const { return harvested_; }
@@ -90,6 +101,9 @@ class GsbManager
 
     /** gSBs forcibly taken back by donor-pressure revokes. */
     std::uint64_t revokedCount() const { return revoked_; }
+
+    /** gSBs force-released from quarantined harvesters. */
+    std::uint64_t forceReleasedCount() const { return force_released_; }
 
   private:
     std::uint64_t blockKey(ChannelId ch, ChipId chip, BlockId blk) const;
@@ -110,6 +124,7 @@ class GsbManager
     std::uint64_t harvested_ = 0;
     std::uint64_t reclaimed_ = 0;
     std::uint64_t revoked_ = 0;
+    std::uint64_t force_released_ = 0;
 };
 
 }  // namespace fleetio

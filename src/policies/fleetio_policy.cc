@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/harness/experiment.h"
 #include "src/virt/channel_allocator.h"
 
 namespace fleetio {
@@ -95,6 +96,7 @@ FleetIoPolicy::setup(Testbed &tb,
     cfg.decision_window = tb.options().window;
     cfg.beta = variant_.beta;
     cfg.teacher_windows = variant_.train_windows * 2 / 3;
+    cfg.supervisor.enabled = variant_.supervise;
     // Online fine-tuning after pre-training is deliberately gentle so
     // the deployed policy stays near the pre-trained behaviour while
     // still adapting (the paper fine-tunes every 10 windows).
@@ -131,6 +133,21 @@ FleetIoPolicy::beforeMeasure(Testbed &tb)
     // our online PPO phase ran during the tail of prepare()).
     if (controller_)
         controller_->setTraining(false);
+}
+
+void
+FleetIoPolicy::collectStats(ExperimentResult &res)
+{
+    if (!controller_)
+        return;
+    const SupervisionStats s = controller_->supervisionStats();
+    res.agent_trips = s.trips;
+    res.agent_restores = s.restores;
+    res.agent_reinits = s.reinits;
+    res.agent_fallback_windows = s.fallback_windows;
+    res.agent_lease_releases = s.lease_releases;
+    res.agent_grad_skips = s.grad_skips;
+    res.agent_checkpoints = s.disk_checkpoints;
 }
 
 void

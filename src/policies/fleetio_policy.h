@@ -29,6 +29,10 @@ class FleetIoPolicy : public Policy
         /** Pre-training length in decision windows (first half runs the
          *  behaviour-cloning teacher phase). */
         int train_windows = 600;
+        /** Agent supervision layer (DESIGN.md §8). Off = the paper's
+         *  bare controller, used as the control arm in resilience
+         *  benches. */
+        bool supervise = true;
         std::string display_name = "FleetIO";
     };
 
@@ -45,6 +49,9 @@ class FleetIoPolicy : public Policy
 
     /** Deploy: freeze learning/exploration for the measured phase. */
     void beforeMeasure(Testbed &tb) override;
+
+    /** Surface supervision / checkpoint counters on the result. */
+    void collectStats(ExperimentResult &res) override;
 
     FleetIoController *controller() { return controller_.get(); }
 

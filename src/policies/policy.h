@@ -18,6 +18,8 @@
 
 namespace fleetio {
 
+struct ExperimentResult;
+
 /** The policies under evaluation. */
 enum class PolicyKind {
     kHardwareIsolation,
@@ -67,6 +69,10 @@ class Policy
      *  exploration for deployment, as the paper deploys pre-trained
      *  models). */
     virtual void beforeMeasure(Testbed &tb) { (void)tb; }
+
+    /** Contribute policy-specific telemetry to the experiment result
+     *  (FleetIO: agent supervision / checkpoint counters). */
+    virtual void collectStats(ExperimentResult &res) { (void)res; }
 
   protected:
     /** Equal block quota for @p n tenants (capacity split evenly). */

@@ -13,6 +13,17 @@ Adam::Adam(ParameterStore &store, const Config &cfg)
     v_.assign(store.size(), 0.0);
 }
 
+bool
+Adam::restoreState(const Vector &m, const Vector &v, std::uint64_t t)
+{
+    if (m.size() != v.size())
+        return false;
+    m_ = m;
+    v_ = v;
+    t_ = t;
+    return true;
+}
+
 void
 Adam::step()
 {

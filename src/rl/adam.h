@@ -36,6 +36,18 @@ class Adam
     const Config &config() const { return cfg_; }
     void setLearningRate(double lr) { cfg_.lr = lr; }
 
+    /** Moment vectors (checkpointing). */
+    const Vector &firstMoments() const { return m_; }
+    const Vector &secondMoments() const { return v_; }
+
+    /**
+     * Restore optimizer state from a checkpoint. @p m and @p v must be
+     * the same length; @return false (and leave the live state alone)
+     * on a length mismatch.
+     */
+    bool restoreState(const Vector &m, const Vector &v,
+                      std::uint64_t t);
+
   private:
     ParameterStore *store_;
     Config cfg_;

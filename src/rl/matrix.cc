@@ -45,11 +45,19 @@ ParameterStore::loadFromFile(const std::string &path)
     in >> n;
     if (!in || n != values_.size())
         return false;
+    // Parse into a staging buffer and validate everything before
+    // committing, so a truncated, garbage-padded, or NaN-bearing file
+    // can never partially overwrite the live network.
+    Vector staged(n);
     for (std::size_t i = 0; i < n; ++i) {
-        in >> values_[i];
-        if (!in)
+        in >> staged[i];
+        if (!in || !std::isfinite(staged[i]))
             return false;
     }
+    std::string trailing;
+    if (in >> trailing)
+        return false;  // more tokens than the header promised
+    values_ = std::move(staged);
     return true;
 }
 

@@ -58,6 +58,7 @@ PolicyNetwork::act(const Vector &state, Rng &rng, bool deterministic)
             deterministic ? dist.argmax() : dist.sample(rng);
         res.actions.push_back(a);
         res.log_prob += dist.logProb(a);
+        res.entropy += dist.entropy();
     }
     return res;
 }

@@ -45,6 +45,7 @@ class PolicyNetwork
         std::vector<std::size_t> actions;
         double log_prob = 0.0;
         double value = 0.0;
+        double entropy = 0.0;  ///< summed over heads (watchdog signal)
     };
 
     struct Eval

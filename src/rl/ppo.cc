@@ -80,7 +80,21 @@ PpoTrainer::update(RolloutBuffer &rollout, double last_value)
                 sum_kl += t.log_prob - ev.log_prob;
                 ++count;
             }
-            opt_.step();
+            // Non-finite gradient guard: a single NaN/inf component
+            // would propagate through Adam into every weight. Drop the
+            // minibatch instead and count the event (zeroGrads at the
+            // top of the next minibatch clears the poisoned buffer).
+            bool finite = true;
+            for (double gv : net_.params().rawGrads()) {
+                if (!std::isfinite(gv)) {
+                    finite = false;
+                    break;
+                }
+            }
+            if (finite)
+                opt_.step();
+            else
+                ++skipped_updates_;
         }
     }
 

@@ -59,11 +59,27 @@ class PpoTrainer
     /** Total optimizer steps taken (telemetry). */
     std::uint64_t optimizerSteps() const { return opt_.t(); }
 
+    /**
+     * Minibatch steps skipped because the accumulated gradient held a
+     * NaN/inf (the update is dropped instead of corrupting weights;
+     * the supervisor surfaces this counter).
+     */
+    std::uint64_t skippedUpdates() const { return skipped_updates_; }
+
+    /** The optimizer (checkpoint capture/restore). */
+    Adam &optimizer() { return opt_; }
+    const Adam &optimizer() const { return opt_; }
+
+    /** The minibatch-shuffle RNG (checkpoint capture/restore). */
+    Rng &shuffleRng() { return rng_; }
+    const Rng &shuffleRng() const { return rng_; }
+
   private:
     PolicyNetwork &net_;
     Config cfg_;
     Adam opt_;
     Rng rng_;
+    std::uint64_t skipped_updates_ = 0;
 };
 
 }  // namespace fleetio::rl

@@ -35,6 +35,22 @@ Rng::Rng(std::uint64_t seed)
         s_[0] = 1;
 }
 
+std::array<std::uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<std::uint64_t, 4> &s)
+{
+    for (int i = 0; i < 4; ++i)
+        s_[i] = s[i];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0)
+        s_[0] = 1;
+    have_cached_normal_ = false;
+}
+
 std::uint64_t
 Rng::next()
 {

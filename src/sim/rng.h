@@ -9,6 +9,7 @@
 #ifndef FLEETIO_SIM_RNG_H
 #define FLEETIO_SIM_RNG_H
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -62,6 +63,17 @@ class Rng
 
     /** Sample an index according to a discrete weight vector. */
     std::size_t weighted(const std::vector<double> &weights);
+
+    /** Raw xoshiro256** state, for checkpointing. Never all-zero. */
+    std::array<std::uint64_t, 4> state() const;
+
+    /**
+     * Restore a state captured with state(). Drops the Box-Muller
+     * cache, so normal() streams resume at the next full pair. @p s
+     * must not be all-zero (xoshiro's absorbing state); an all-zero
+     * input is remapped the same way the seeding path remaps it.
+     */
+    void setState(const std::array<std::uint64_t, 4> &s);
 
   private:
     std::uint64_t s_[4];

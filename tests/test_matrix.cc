@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "src/rl/matrix.h"
 
@@ -63,6 +64,73 @@ TEST(ParameterStore, LoadRejectsSizeMismatch)
     ParameterStore ps2;
     ps2.allocate(5);
     EXPECT_FALSE(ps2.loadFromFile(path.string()));
+    std::filesystem::remove(path);
+}
+
+TEST(ParameterStore, LoadRejectsTruncatedFile)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_trunc.txt";
+    {
+        std::ofstream out(path);
+        out << "4\n0.5\n0.25\n";  // header promises 4, delivers 2
+    }
+    ParameterStore ps;
+    ps.allocate(4);
+    for (std::size_t i = 0; i < 4; ++i)
+        ps.rawValues()[i] = 7.0;
+    EXPECT_FALSE(ps.loadFromFile(path.string()));
+    // A failed load must not partially overwrite the live values.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(ps.rawValues()[i], 7.0);
+    std::filesystem::remove(path);
+}
+
+TEST(ParameterStore, LoadRejectsTrailingGarbage)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_trailing.txt";
+    {
+        std::ofstream out(path);
+        out << "2\n0.5\n0.25\n0.125\n";  // one token too many
+    }
+    ParameterStore ps;
+    ps.allocate(2);
+    EXPECT_FALSE(ps.loadFromFile(path.string()));
+    std::filesystem::remove(path);
+}
+
+TEST(ParameterStore, LoadRejectsNonFiniteValues)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_nan.txt";
+    for (const char *bad : {"nan", "inf", "-inf"}) {
+        {
+            std::ofstream out(path);
+            out << "2\n0.5\n" << bad << "\n";
+        }
+        ParameterStore ps;
+        ps.allocate(2);
+        ps.rawValues()[0] = 3.0;
+        ps.rawValues()[1] = 4.0;
+        EXPECT_FALSE(ps.loadFromFile(path.string())) << bad;
+        EXPECT_DOUBLE_EQ(ps.rawValues()[0], 3.0) << bad;
+        EXPECT_DOUBLE_EQ(ps.rawValues()[1], 4.0) << bad;
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(ParameterStore, LoadRejectsGarbageToken)
+{
+    const auto path = std::filesystem::temp_directory_path() /
+                      "fleetio_params_garbage.txt";
+    {
+        std::ofstream out(path);
+        out << "2\n0.5\npotato\n";
+    }
+    ParameterStore ps;
+    ps.allocate(2);
+    EXPECT_FALSE(ps.loadFromFile(path.string()));
     std::filesystem::remove(path);
 }
 

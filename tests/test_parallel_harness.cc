@@ -92,6 +92,42 @@ TEST(ParallelMap, ActuallyRunsConcurrently)
 
 TEST(BenchJobs, DefaultsToAtLeastOne) { EXPECT_GE(benchJobs(), 1u); }
 
+TEST(ParallelJobCount, ParsesValidCounts)
+{
+    EXPECT_EQ(parallelJobCount("1", 7), 1u);
+    EXPECT_EQ(parallelJobCount("8", 7), 8u);
+    EXPECT_EQ(parallelJobCount("4096", 7), 4096u);
+}
+
+TEST(ParallelJobCount, MissingValueFallsBack)
+{
+    EXPECT_EQ(parallelJobCount(nullptr, 7), 7u);
+    EXPECT_EQ(parallelJobCount("", 7), 7u);
+}
+
+TEST(ParallelJobCount, RejectsGarbage)
+{
+    // Trailing junk, embedded exponents, units, hex.
+    EXPECT_EQ(parallelJobCount("4x", 7), 7u);
+    EXPECT_EQ(parallelJobCount("1e3", 7), 7u);
+    EXPECT_EQ(parallelJobCount("8 jobs", 7), 7u);
+    EXPECT_EQ(parallelJobCount("0x10", 7), 7u);
+    EXPECT_EQ(parallelJobCount("potato", 7), 7u);
+    // strtol would quietly accept these; a job count shouldn't.
+    EXPECT_EQ(parallelJobCount(" 8", 7), 7u);
+    EXPECT_EQ(parallelJobCount("+8", 7), 7u);
+    EXPECT_EQ(parallelJobCount("-2", 7), 7u);
+}
+
+TEST(ParallelJobCount, RejectsOutOfRange)
+{
+    EXPECT_EQ(parallelJobCount("0", 7), 7u);
+    EXPECT_EQ(parallelJobCount("4097", 7), 7u);
+    // Larger than any integer type: must not overflow into a
+    // plausible-looking count.
+    EXPECT_EQ(parallelJobCount("99999999999999999999", 7), 7u);
+}
+
 /** Shrunk experiment spec: small geometry, short phases. */
 ExperimentSpec
 tinySpec(WorkloadKind a, WorkloadKind b, PolicyKind policy)

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "src/rl/ppo.h"
 
@@ -100,6 +101,39 @@ TEST(PpoTrainer, EmptyRolloutIsNoop)
     RolloutBuffer rb;
     const auto stats = trainer.update(rb, 0.0);
     EXPECT_EQ(stats.samples, 0u);
+}
+
+TEST(PpoTrainer, NonFiniteGradientsSkipStepAndLeaveWeightsIntact)
+{
+    ActionSpec spec{{2}};
+    PolicyNetwork net(2, spec, {8}, 31);
+    PpoTrainer::Config cfg;
+    cfg.minibatch = 8;
+    cfg.epochs = 2;
+    PpoTrainer trainer(net, cfg);
+    Rng rng(32);
+    RolloutBuffer rb;
+    for (int i = 0; i < 8; ++i) {
+        Vector s{0.1, 0.2};
+        const auto res = net.act(s, rng);
+        Transition t;
+        t.state = s;
+        t.actions = res.actions;
+        t.log_prob = res.log_prob;
+        t.value = res.value;
+        // A NaN reward poisons GAE, the surrogate loss, and every
+        // accumulated gradient — the guard must drop the minibatch.
+        t.reward = std::numeric_limits<double>::quiet_NaN();
+        t.done = true;
+        rb.add(std::move(t));
+    }
+    const Vector before = net.params().rawValues();
+    trainer.update(rb, 0.0);
+    EXPECT_GT(trainer.skippedUpdates(), 0u);
+    EXPECT_EQ(trainer.optimizerSteps(), 0u);
+    EXPECT_EQ(net.params().rawValues(), before);
+    for (double p : net.params().rawValues())
+        EXPECT_TRUE(std::isfinite(p));
 }
 
 TEST(PpoTrainer, StatsArePopulated)
