@@ -12,6 +12,16 @@ namespace fleetio {
 
 namespace {
 
+/** Compact trace code for an action: low 2 bits = priority level,
+ *  bit 2 = harvesting, bit 3 = donating. */
+std::uint64_t
+actionCode(const AgentAction &a)
+{
+    return std::uint64_t(a.priority) |
+           (a.harvest_bw_mbps > 0 ? 4u : 0u) |
+           (a.harvestable_bw_mbps > 0 ? 8u : 0u);
+}
+
 /**
  * FLEETIO_CHECKPOINT_INTERVAL_WINDOWS, validated like the other env
  * knobs: a strictly positive decimal integer with no trailing garbage.
@@ -248,6 +258,10 @@ FleetIoController::tick()
     if (n == 0)
         return;
     ++windows_;
+    FLEETIO_TRACE_EVENT(gsb_.device().tracer(),
+                        windowBoundary(eq_.now(), windows_));
+    if (windows_counter_ != nullptr)
+        windows_counter_->observe(windows_);
 
     // 1. Per-vSSD window metrics (before rolling the windows).
     const SimTime win = cfg_.decision_window;
@@ -281,6 +295,18 @@ FleetIoController::tick()
         agent.completeTransition(reward);
         m.reward_sum += reward;
         ++m.reward_count;
+        FLEETIO_TRACE_EVENT(gsb_.device().tracer(),
+                            agentReward(eq_.now(), m.vssd->id(),
+                                        reward));
+        if (metrics_ != nullptr) {
+            if (reward_gauges_.size() <= i)
+                reward_gauges_.resize(n, nullptr);
+            if (reward_gauges_[i] == nullptr) {
+                reward_gauges_[i] = &metrics_->gauge(
+                    "t" + std::to_string(m.vssd->id()) + ".reward");
+            }
+            reward_gauges_[i]->set(reward);
+        }
 
         if (classifier_ != nullptr && feature_provider_) {
             if (auto f = feature_provider_(m.vssd->id())) {
@@ -301,24 +327,26 @@ FleetIoController::tick()
                         extractor_.windowState(*m.vssd, shared));
         const rl::Vector state = extractor_.stacked(m.vssd->id());
 
+        AgentAction action;
         if (teacher_phase && agent.training()) {
             // Bootstrap: execute the heuristic teacher and clone it.
-            const AgentAction action = teacherAction(
+            action = teacherAction(
                 *m.vssd, gsb_, vssds_.device().geometry(),
                 cfg_.decision_window, cfg_);
             // Value target: discounted return of a steady reward.
             const double vt =
                 reward / (1.0 - cfg_.ppo.gamma);
             agent.imitate(state, agent.mapper().encode(action), vt);
-            applyAction(m, action);
         } else if (supervisor_ != nullptr) {
-            const AgentAction action = supervisor_->decide(
+            action = supervisor_->decide(
                 m.vssd->id(), state, reward, vio[i]);
-            applyAction(m, action);
         } else {
-            const AgentAction action = agent.decide(state);
-            applyAction(m, action);
+            action = agent.decide(state);
         }
+        FLEETIO_TRACE_EVENT(gsb_.device().tracer(),
+                            agentDecide(eq_.now(), m.vssd->id(),
+                                        actionCode(action)));
+        applyAction(m, action);
     }
 
     // 4. Roll the observation windows and nudge GC.

@@ -25,6 +25,8 @@
 #include "src/core/reward.h"
 #include "src/core/state_extractor.h"
 #include "src/harvest/gsb_manager.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rl/checkpoint.h"
 #include "src/virt/vssd.h"
 
@@ -115,6 +117,19 @@ class FleetIoController
     /** Aggregated supervision / resilience counters for reporting. */
     SupervisionStats supervisionStats() const;
 
+    /**
+     * Attach a metrics registry (nullptr = off, the default). Each tick
+     * then publishes per-tenant "t<id>.reward" gauges and the
+     * "controller.windows" counter.
+     */
+    void setMetrics(obs::MetricsRegistry *m)
+    {
+        metrics_ = m;
+        reward_gauges_.clear();
+        windows_counter_ =
+            m != nullptr ? &m->counter("controller.windows") : nullptr;
+    }
+
   private:
     struct Managed
     {
@@ -143,6 +158,9 @@ class FleetIoController
 
     std::unique_ptr<AgentSupervisor> supervisor_;
     RewardHook reward_hook_;
+    obs::MetricsRegistry *metrics_ = nullptr;
+    obs::Counter *windows_counter_ = nullptr;
+    std::vector<obs::Gauge *> reward_gauges_;  // by managed index
     std::string checkpoint_dir_;
     int checkpoint_interval_ = 0;
     std::uint64_t disk_checkpoints_ = 0;

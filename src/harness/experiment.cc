@@ -1,5 +1,7 @@
 #include "src/harness/experiment.h"
 
+#include <atomic>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -80,6 +82,9 @@ calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
         // Solo run on a hardware-isolated share of the device.
         TestbedOptions solo = opts;
         solo.seed = 0xCA11B7A7Eull;  // calibration uses its own seed
+        // Calibration is a throwaway inner run: never trace it, and
+        // keep its cache entry independent of the caller's obs knobs.
+        solo.obs = {};
         // SLOs describe the *healthy* device: calibrate fault-free so
         // an injected-fault sweep measures degradation against a fixed
         // bar.
@@ -106,6 +111,19 @@ calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
 ExperimentResult
 runExperiment(const ExperimentSpec &spec)
 {
+    // FLEETIO_TRACE=1 turns on the full obs pipeline for any run that
+    // reaches this harness (benches, examples) without recompiling;
+    // explicit spec.opts.obs settings are honoured either way.
+    TestbedOptions opts = spec.opts;
+    const bool trace_env = obs::traceEnabledFromEnv();
+    if (trace_env) {
+        opts.obs.trace = true;
+        opts.obs.metrics = true;
+    }
+
+    obs::PhaseProfiler prof;
+    prof.begin("calibrate");
+
     // 1. Per-tenant SLOs from hardware-isolated calibration.
     std::vector<SimTime> slos;
     slos.reserve(spec.workloads.size());
@@ -115,25 +133,30 @@ runExperiment(const ExperimentSpec &spec)
     }
 
     // 2. Build the testbed under the policy.
-    Testbed tb(spec.opts);
+    prof.begin("build");
+    Testbed tb(opts);
     auto policy = makePolicy(spec.policy);
     policy->setup(tb, spec.workloads, slos);
 
     // 3. Warm up: pre-fill capacity, settle into steady state.
+    prof.begin("warmup", tb.eq().dispatched());
     tb.warmupFill();
     tb.startWorkloads();
     tb.run(spec.warm_run);
 
     // 4. Policy preparation (RL pre-training, DNN profiling, ...).
+    prof.begin("prepare", tb.eq().dispatched());
     policy->prepare(tb);
 
     // 5. Measure.
+    prof.begin("measure", tb.eq().dispatched());
     policy->beforeMeasure(tb);
     tb.beginMeasurement();
     tb.run(spec.measure);
     tb.endMeasurement();
 
     // 6. Collect.
+    prof.begin("collect", tb.eq().dispatched());
     ExperimentResult res;
     res.policy = policy->name();
     res.measured = spec.measure;
@@ -165,6 +188,29 @@ runExperiment(const ExperimentSpec &spec)
         res.tenants.push_back(std::move(t));
     }
     policy->collectStats(res);
+
+    // Env-enabled runs drop their artifacts next to the bench output;
+    // the atomic sequence keeps parallel-harness filenames unique.
+    if (trace_env) {
+        static std::atomic<std::uint64_t> artifact_seq{0};
+        const std::uint64_t n =
+            artifact_seq.fetch_add(1, std::memory_order_relaxed);
+        const std::string base = obs::traceDirFromEnv() +
+                                 "/fleetio_run" + std::to_string(n);
+        if (tb.tracer() != nullptr) {
+            std::ofstream os(base + ".trace.json");
+            tb.tracer()->writeChromeJson(os);
+        }
+        if (tb.metrics() != nullptr) {
+            std::ofstream csv(base + ".metrics.csv");
+            tb.metrics()->writeCsv(csv);
+            std::ofstream js(base + ".metrics.json");
+            tb.metrics()->writeJson(js);
+        }
+    }
+
+    prof.end(tb.eq().dispatched());
+    res.phases = prof.phases();
     return res;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/harness/testbed.h"
+#include "src/obs/phase_profiler.h"
 #include "src/policies/policy.h"
 
 namespace fleetio {
@@ -59,6 +60,11 @@ struct ExperimentResult
      *  prepare + measure) — the denominator of events/sec perf
      *  tracking. Deterministic for a fixed spec. */
     std::uint64_t sim_events = 0;
+
+    /** Wall-clock phase attribution (calibrate/build/warmup/prepare/
+     *  measure/collect). Nondeterministic; flows only into the opt-in
+     *  BenchReport JSON "phases" block, never into stdout. */
+    std::vector<obs::Phase> phases;
 
     /** Sum of tenant bandwidths (MB/s). */
     double aggregateBwMBps() const;

@@ -53,11 +53,14 @@ Table::print(std::ostream &os) const
 void
 Table::printCsv(std::ostream &os) const
 {
+    // RFC 4180: cells containing commas, quotes, or line breaks are
+    // quoted with embedded quotes doubled (csvField); everything else
+    // is emitted byte-for-byte as before.
     auto line = [&](const std::vector<std::string> &cells) {
         for (std::size_t c = 0; c < cells.size(); ++c) {
             if (c)
                 os << ',';
-            os << cells[c];
+            os << csvField(cells[c]);
         }
         os << '\n';
     };
@@ -126,41 +129,6 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
     os << '\n';
 }
 
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof buf, "\\u%04x", c);
-                out += buf;
-            } else {
-                out += c;
-            }
-        }
-    }
-    return out;
-}
-
-std::string
-jsonNumber(double v)
-{
-    if (!std::isfinite(v))
-        return "null";
-    std::ostringstream ss;
-    ss << std::setprecision(12) << v;
-    return ss.str();
-}
-
 BenchReport::BenchReport(std::string name)
     : name_(std::move(name)), start_(std::chrono::steady_clock::now())
 {
@@ -200,6 +168,11 @@ BenchReport::addCell(const std::string &label,
     if (c.label.find(res.policy) == std::string::npos)
         c.label += " / " + res.policy;
     cells_.push_back(std::move(c));
+    for (const auto &p : res.phases) {
+        PhaseTotal &t = phase_totals_[p.name];
+        t.wall_seconds += p.wall_seconds;
+        t.sim_events += p.sim_events;
+    }
 }
 
 void
@@ -258,6 +231,15 @@ BenchReport::writeJson(std::ostream &os) const
         first = false;
     }
     os << (metrics_.empty() ? "" : "\n  ") << "},\n";
+    os << "  \"phases\": {";
+    first = true;
+    for (const auto &[k, t] : phase_totals_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(k)
+           << "\": {\"wall_seconds\": " << jsonNumber(t.wall_seconds)
+           << ", \"sim_events\": " << t.sim_events << "}";
+        first = false;
+    }
+    os << (phase_totals_.empty() ? "" : "\n  ") << "},\n";
     os << "  \"results\": [";
     for (std::size_t i = 0; i < cells_.size(); ++i) {
         const Cell &c = cells_[i];

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/harness/experiment.h"
+#include "src/obs/json.h"
+#include "src/obs/phase_profiler.h"
 
 namespace fleetio {
 
@@ -31,7 +33,7 @@ class Table
     /** Render with aligned columns. */
     void print(std::ostream &os) const;
 
-    /** Render as CSV. */
+    /** Render as CSV (cells quoted/escaped per RFC 4180). */
     void printCsv(std::ostream &os) const;
 
   private:
@@ -62,11 +64,8 @@ void printFaultSummary(const ExperimentResult &res, std::ostream &os);
 void printSupervisionSummary(const ExperimentResult &res,
                              std::ostream &os);
 
-/** Escape @p s for embedding in a JSON string literal. */
-std::string jsonEscape(const std::string &s);
-
-/** Render @p v as a JSON number ("null" for NaN/inf, which JSON lacks). */
-std::string jsonNumber(double v);
+// jsonEscape / jsonNumber come from src/obs/json.h (the single JSON
+// escaping implementation, shared with the trace/metrics exporters).
 
 /**
  * Perf-tracking record of one bench run: a wall-clock timer started at
@@ -84,7 +83,9 @@ class BenchReport
     /** @p name becomes the "bench" field and the output file name. */
     explicit BenchReport(std::string name);
 
-    /** Record one grid cell from a full experiment result. */
+    /** Record one grid cell from a full experiment result. Per-phase
+     *  wall/sim-event attribution (res.phases) accumulates into the
+     *  report's "phases" JSON block. */
     void addCell(const std::string &label, const ExperimentResult &res);
 
     /** Record one custom cell (benches whose cells are not
@@ -124,10 +125,17 @@ class BenchReport
         std::uint64_t sim_events = 0;
     };
 
+    struct PhaseTotal
+    {
+        double wall_seconds = 0.0;
+        std::uint64_t sim_events = 0;
+    };
+
     std::string name_;
     unsigned jobs_ = 1;
     std::vector<Cell> cells_;
     std::map<std::string, double> metrics_;
+    std::map<std::string, PhaseTotal> phase_totals_;
     std::chrono::steady_clock::time_point start_;
 };
 

@@ -24,6 +24,13 @@ Testbed::Testbed(const TestbedOptions &opts)
     vssds_.setOnErased([this](ChannelId ch, ChipId chip, BlockId blk) {
         gsb_.onBlockErased(ch, chip, blk);
     });
+    if (opts_.obs.trace) {
+        tracer_ = std::make_unique<obs::TraceRecorder>(
+            opts_.obs.trace_capacity);
+        dev_.setTracer(tracer_.get());
+    }
+    if (opts_.obs.metrics)
+        sched_.setMetrics(&metrics_);
 }
 
 Vssd &
@@ -45,6 +52,10 @@ Testbed::addTenant(WorkloadKind kind,
         profile, eq_, sched_, v.id(), v.ftl().logicalPages(),
         tenant_seed_));
     kinds_.push_back(kind);
+    if (tracer_ != nullptr) {
+        tracer_->setTrackName(obs::tenantTrack(v.id()),
+                              cfg.name + "-" + std::to_string(v.id()));
+    }
     return v;
 }
 
@@ -104,6 +115,14 @@ Testbed::beginMeasurement()
     measuring_ = true;
     measure_start_ = eq_.now();
     last_sample_ = eq_.now();
+    window_index_ = 0;
+    if (opts_.obs.metrics)
+        metrics_.markBaseline(eq_.now());
+    if (opts_.obs.metrics || tracer_ != nullptr) {
+        last_tenant_bytes_.assign(vssds_.size(), 0);
+        for (auto *v : vssds_.active())
+            last_tenant_bytes_[v->id()] = v->bandwidth().totalBytes();
+    }
     sampleUtilization();
 }
 
@@ -115,12 +134,61 @@ Testbed::sampleUtilization()
             return;
         const SimTime elapsed = eq_.now() - last_sample_;
         if (elapsed > 0) {
-            util_samples_.push_back(dev_.busUtilization(elapsed));
+            const double util = dev_.busUtilization(elapsed);
+            util_samples_.push_back(util);
             dev_.resetBusyWindow();
             last_sample_ = eq_.now();
+            observeWindow(util);
         }
         sampleUtilization();
     });
+}
+
+/** Per-window obs hook: snapshot the metrics registry and emit the
+ *  window-boundary / counter-track trace events. No-op (never called
+ *  on the hot path) when both obs switches are off. */
+void
+Testbed::observeWindow(double util)
+{
+    const SimTime now = eq_.now();
+    FLEETIO_TRACE_EVENT(tracer_.get(), windowBoundary(now, window_index_));
+    FLEETIO_TRACE_EVENT(tracer_.get(),
+                        counterSample(now, obs::kTrackController,
+                                      obs::CounterKind::kUtilization,
+                                      util));
+    FLEETIO_TRACE_EVENT(tracer_.get(),
+                        counterSample(now, obs::kTrackController,
+                                      obs::CounterKind::kQueueDepth,
+                                      double(sched_.queuedOps())));
+    if (tracer_ != nullptr) {
+        const double win_sec = toSeconds(opts_.window);
+        for (auto *v : vssds_.active()) {
+            const std::uint64_t total = v->bandwidth().totalBytes();
+            const std::uint64_t last =
+                v->id() < last_tenant_bytes_.size()
+                    ? last_tenant_bytes_[v->id()] : 0;
+            const double mbps =
+                double(total - last) / (1e6 * win_sec);
+            tracer_->counterSample(now, obs::tenantTrack(v->id()),
+                                   obs::CounterKind::kBandwidthMBps,
+                                   mbps);
+        }
+    }
+    if (opts_.obs.metrics || tracer_ != nullptr) {
+        if (last_tenant_bytes_.size() < vssds_.size())
+            last_tenant_bytes_.resize(vssds_.size(), 0);
+        for (auto *v : vssds_.active())
+            last_tenant_bytes_[v->id()] = v->bandwidth().totalBytes();
+    }
+    if (opts_.obs.metrics) {
+        metrics_.gauge("device.utilization").set(util);
+        metrics_.gauge("device.queued_ops")
+            .set(double(sched_.queuedOps()));
+        metrics_.counter("device.dispatched_ops")
+            .observe(sched_.dispatchedOps());
+        metrics_.snapshotWindow(now);
+    }
+    ++window_index_;
 }
 
 void
@@ -129,6 +197,10 @@ Testbed::endMeasurement()
     measuring_ = false;
     for (auto *v : vssds_.active())
         v->rollWindow();
+    // Fold the trailing partial window so the time-series covers the
+    // whole measured region and lifetime aggregates match run totals.
+    if (opts_.obs.metrics && eq_.now() > last_sample_)
+        metrics_.snapshotWindow(eq_.now());
 }
 
 double

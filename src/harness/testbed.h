@@ -15,6 +15,8 @@
 
 #include "src/harvest/gsb_manager.h"
 #include "src/harvest/harvested_block_table.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/ssd/flash_device.h"
 #include "src/virt/io_scheduler.h"
@@ -47,6 +49,18 @@ struct TestbedOptions
     /** Fault-injection knobs. All probabilities default to zero, which
      *  keeps every run bit-identical to a fault-free device. */
     FaultConfig faults{};
+
+    /** Observability switches (DESIGN.md §9). Both default off, which
+     *  keeps the run bit-identical to a testbed without the obs layer:
+     *  no tracer is created, no metrics registry is attached, and the
+     *  window sampler does no extra work. */
+    struct ObsOptions
+    {
+        bool trace = false;    ///< record trace events (Perfetto export)
+        bool metrics = false;  ///< per-window metrics snapshots
+        std::size_t trace_capacity = std::size_t(1) << 16;
+    };
+    ObsOptions obs{};
 };
 
 /**
@@ -71,6 +85,16 @@ class Testbed
     /** The device's fault oracle (inert when all probabilities are 0). */
     FaultInjector &faults() { return faults_; }
     const FaultCounters &faultCounters() const { return faults_.counters(); }
+
+    /** The run's trace recorder, or nullptr when opts.obs.trace is off. */
+    obs::TraceRecorder *tracer() { return tracer_.get(); }
+
+    /** The run's metrics registry, or nullptr when opts.obs.metrics is
+     *  off. Snapshotted once per window by the utilization sampler. */
+    obs::MetricsRegistry *metrics()
+    {
+        return opts_.obs.metrics ? &metrics_ : nullptr;
+    }
 
     /**
      * Create a tenant: a vSSD on @p channels with @p quota blocks and
@@ -116,6 +140,7 @@ class Testbed
 
   private:
     void sampleUtilization();
+    void observeWindow(double util);
 
     TestbedOptions opts_;
     EventQueue eq_;
@@ -125,6 +150,8 @@ class Testbed
     VssdManager vssds_;
     GsbManager gsb_;
     IoScheduler sched_;
+    std::unique_ptr<obs::TraceRecorder> tracer_;
+    obs::MetricsRegistry metrics_;
     std::vector<std::unique_ptr<SyntheticWorkload>> workloads_;
     std::vector<WorkloadKind> kinds_;
 
@@ -133,6 +160,8 @@ class Testbed
     SimTime last_sample_ = 0;
     std::vector<double> util_samples_;
     std::uint64_t tenant_seed_ = 0;
+    std::uint64_t window_index_ = 0;
+    std::vector<std::uint64_t> last_tenant_bytes_;
 };
 
 }  // namespace fleetio

@@ -139,12 +139,21 @@ GsbManager::createGsb(Vssd &home, std::uint32_t n_chls)
     gsbs_.emplace(raw->id(), std::move(gsb));
     pool_.insert(raw);
     ++created_;
+    FLEETIO_TRACE_EVENT(dev_.tracer(),
+                        gsbEvent(dev_.eventQueue().now(),
+                                 obs::TraceEventType::kGsbCreate,
+                                 home.id(), raw->id(), added));
     return raw;
 }
 
 void
 GsbManager::reclaimLazily(Gsb *gsb)
 {
+    FLEETIO_TRACE_EVENT(dev_.tracer(),
+                        gsbEvent(dev_.eventQueue().now(),
+                                 obs::TraceEventType::kGsbReclaim,
+                                 gsb->homeVssd(), gsb->id(),
+                                 gsb->numChannels()));
     gsb->setReclaiming();
     // Detach from the harvester's write path: no new data flows in.
     if (gsb->inUse()) {
@@ -225,6 +234,11 @@ GsbManager::revokeUnderPressure(VssdId home_id)
     for (Gsb *g : pool_gsbs) {
         if (!pool_.remove(g))
             continue;
+        FLEETIO_TRACE_EVENT(dev_.tracer(),
+                            gsbEvent(dev_.eventQueue().now(),
+                                     obs::TraceEventType::kGsbRevoke,
+                                     home_id, g->id(),
+                                     g->numChannels()));
         destroyUnharvestedAfterPoolRemove(g);
         ++revoked_;
         revoked_any = true;
@@ -245,6 +259,11 @@ GsbManager::revokeUnderPressure(VssdId home_id)
         return a->validPages(dev_) < b->validPages(dev_);
     });
     for (Gsb *g : in_use) {
+        FLEETIO_TRACE_EVENT(dev_.tracer(),
+                            gsbEvent(dev_.eventQueue().now(),
+                                     obs::TraceEventType::kGsbRevoke,
+                                     home_id, g->id(),
+                                     g->numChannels()));
         reclaimLazily(g);
         ++revoked_;
         revoked_any = true;
@@ -351,6 +370,11 @@ GsbManager::forceReleaseHeld(VssdId harvester_id)
     std::uint32_t channels = 0;
     for (Gsb *g : held) {
         channels += g->numChannels();
+        FLEETIO_TRACE_EVENT(
+            dev_.tracer(),
+            gsbEvent(dev_.eventQueue().now(),
+                     obs::TraceEventType::kGsbForceRelease,
+                     harvester_id, g->id(), g->numChannels()));
         // reclaimLazily detaches the harvester's write path right away
         // (no new data lands in the gSB) and releases never-written
         // blocks instantly; the rest drain through the home GC.
@@ -381,6 +405,11 @@ GsbManager::harvest(VssdId harvester_id, double gsb_bw_mbps)
         harvester->ftl().addExternalSource(g);
         current += g->numChannels();
         ++harvested_;
+        FLEETIO_TRACE_EVENT(dev_.tracer(),
+                            gsbEvent(dev_.eventQueue().now(),
+                                     obs::TraceEventType::kGsbHarvest,
+                                     harvester_id, g->id(),
+                                     g->numChannels()));
     }
     return current;
 }
@@ -435,6 +464,11 @@ GsbManager::destroyUnharvestedAfterPoolRemove(Gsb *gsb)
     if (home != nullptr && returned > 0)
         home->ftl().onBlocksReclaimed(returned);
     ++reclaimed_;
+    FLEETIO_TRACE_EVENT(dev_.tracer(),
+                        gsbEvent(dev_.eventQueue().now(),
+                                 obs::TraceEventType::kGsbDestroy,
+                                 gsb->homeVssd(), gsb->id(),
+                                 gsb->numChannels()));
     eraseGsbRecord(gsb->id());
 }
 

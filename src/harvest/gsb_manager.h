@@ -65,6 +65,9 @@ class GsbManager
     GsbPool &pool() { return pool_; }
     const GsbPool &pool() const { return pool_; }
 
+    /** The underlying device (tracer hub access for the supervisor). */
+    FlashDevice &device() { return dev_; }
+
     /**
      * Block-erase notification (wired to VssdManager::setOnErased):
      * detaches the block from its gSB and destroys gSBs whose last

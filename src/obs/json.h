@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The one JSON string/number formatting implementation shared by every
+ * emitter in the tree (BenchReport, trace exporter, metrics exporter).
+ * Lives below the harness so src/obs can use it without a layering cycle;
+ * src/harness/reporting.h re-exports it for existing callers.
+ */
+#ifndef FLEETIO_OBS_JSON_H
+#define FLEETIO_OBS_JSON_H
+
+#include <string>
+
+namespace fleetio {
+
+/** Escape @p s for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+/** Render @p v as a JSON number ("null" for NaN/inf, which JSON lacks). */
+std::string jsonNumber(double v);
+
+/**
+ * Quote/escape one CSV field per RFC 4180: fields containing commas,
+ * double quotes, or line breaks are wrapped in quotes with embedded
+ * quotes doubled; all other fields pass through unchanged.
+ */
+std::string csvField(const std::string &s);
+
+}  // namespace fleetio
+
+#endif  // FLEETIO_OBS_JSON_H

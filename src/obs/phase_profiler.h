@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Wall-clock phase profiler for the experiment harness: attributes a
+ * run's wall time (and dispatched sim events) to its phases — calibrate,
+ * build, warmup, prepare, measure, collect — feeding the "phases" block
+ * of the fleetio-bench-v1 BenchReport.
+ *
+ * Wall-clock readings are inherently nondeterministic, so phase data
+ * only ever flows into the opt-in JSON perf record, never into bench
+ * stdout (which must stay byte-identical across runs).
+ */
+#ifndef FLEETIO_OBS_PHASE_PROFILER_H
+#define FLEETIO_OBS_PHASE_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fleetio::obs {
+
+/** One attributed phase. */
+struct Phase
+{
+    std::string name;
+    double wall_seconds = 0.0;
+    std::uint64_t sim_events = 0;  ///< events dispatched in this phase
+};
+
+/**
+ * begin() opens a phase (closing any open one); end() closes the
+ * current phase. Callers pass the current dispatched-event count so
+ * sim work is attributed alongside wall time.
+ */
+class PhaseProfiler
+{
+  public:
+    void begin(const std::string &name, std::uint64_t sim_events_now = 0);
+    void end(std::uint64_t sim_events_now = 0);
+
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    /** Sum of closed-phase wall seconds. */
+    double totalSeconds() const;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::vector<Phase> phases_;
+    bool open_ = false;
+    std::string open_name_;
+    Clock::time_point open_t0_;
+    std::uint64_t open_ev0_ = 0;
+};
+
+}  // namespace fleetio::obs
+
+#endif  // FLEETIO_OBS_PHASE_PROFILER_H

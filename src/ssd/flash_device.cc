@@ -73,6 +73,9 @@ FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
                        });
     } else {
         ++gc_reads_;
+        FLEETIO_TRACE_EVENT(
+            tracer_,
+            gcOp(eq_.now(), obs::TraceEventType::kGcRead, ch));
         // No bookkeeping on completion: schedule the callback itself
         // (the event queue tolerates a null one), skipping a wrapper
         // indirection.
@@ -109,6 +112,9 @@ FlashDevice::issueProgramImpl(Ppa ppa, Callback done, bool host)
         });
     } else {
         ++gc_writes_;
+        FLEETIO_TRACE_EVENT(
+            tracer_,
+            gcOp(eq_.now(), obs::TraceEventType::kGcProgram, ch));
     }
     eq_.scheduleAt(complete, std::move(done));
     return complete;
@@ -145,6 +151,8 @@ FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
     maybeSlowDown(chp);
     const SimTime complete = chp.reserve(eq_.now(), geo_.erase_latency);
     ++erases_;
+    FLEETIO_TRACE_EVENT(
+        tracer_, gcOp(eq_.now(), obs::TraceEventType::kGcErase, ch));
     eq_.scheduleAt(complete, std::move(done));
     return complete;
 }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
 #include "src/ssd/channel.h"
@@ -119,6 +120,19 @@ class FlashDevice
     void setFaultInjector(FaultInjector *fi) { injector_ = fi; }
     FaultInjector *faultInjector() { return injector_; }
 
+    // --- Tracing -------------------------------------------------------
+
+    /**
+     * Install a trace recorder (nullptr = tracing off, the default).
+     * The device is the tracer hub: every subsystem holding a device
+     * reference (scheduler, GC, gSB manager, controller) reaches the
+     * recorder through tracer(), so enabling tracing is one call on the
+     * testbed. With no recorder installed each instrumentation site is
+     * a single null-pointer test (see FLEETIO_TRACE_EVENT).
+     */
+    void setTracer(obs::TraceRecorder *t) { tracer_ = t; }
+    obs::TraceRecorder *tracer() const { return tracer_; }
+
     /** Blocks retired (bad-block tables) across the whole device. */
     std::uint64_t totalRetiredBlocks() const;
 
@@ -200,6 +214,7 @@ class FlashDevice
     SsdGeometry geo_;
     EventQueue &eq_;
     FaultInjector *injector_ = nullptr;
+    obs::TraceRecorder *tracer_ = nullptr;
     SlotFreedFn on_slot_freed_;
     std::vector<Channel> channels_;
     std::vector<FlashChip> chips_;  // [channel * chips_per_channel + chip]

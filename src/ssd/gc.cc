@@ -79,6 +79,10 @@ GcEngine::startJob(const Victim &v)
     in_flight_ = 0;
     retry_count_ = 0;
     ++job_gen_;
+    FLEETIO_TRACE_EVENT(
+        dev_->tracer(),
+        gcBatch(dev_->eventQueue().now(), home_->vssd(), v.ch,
+                dev_->chip(v.ch, v.chip).block(v.blk).valid_count));
     pumpMigrations();
 }
 

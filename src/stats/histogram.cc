@@ -88,6 +88,21 @@ Histogram::reset()
     count_ = sum_ = max_ = min_ = 0;
 }
 
+Histogram
+Histogram::snapshotAndReset()
+{
+    Histogram out(sub_bits_);
+    // The fresh histogram's zeroed bucket vector becomes ours; no
+    // reallocation on either side.
+    out.buckets_.swap(buckets_);
+    out.count_ = count_;
+    out.sum_ = sum_;
+    out.max_ = max_;
+    out.min_ = min_;
+    count_ = sum_ = max_ = min_ = 0;
+    return out;
+}
+
 void
 Histogram::merge(const Histogram &other)
 {

@@ -56,6 +56,14 @@ class Histogram
     /** Merge another histogram (must share sub_bits). */
     void merge(const Histogram &other);
 
+    /**
+     * Atomically take the current contents and reset this histogram to
+     * empty. The returned snapshot can be merge()d into a lifetime
+     * histogram, so per-window flushes never lose lifetime percentiles
+     * (the per-window metrics pipeline relies on this).
+     */
+    Histogram snapshotAndReset();
+
   private:
     std::size_t bucketIndex(std::uint64_t value) const;
     std::uint64_t bucketValue(std::size_t index) const;

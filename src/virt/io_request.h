@@ -30,6 +30,10 @@ struct IoRequest
     SimTime submit_time = 0;    ///< set by the scheduler at submit
     std::uint32_t pages_done = 0;
 
+    /** Deterministic per-scheduler request sequence number, stamped at
+     *  submit. Correlates the request's trace-event span. */
+    std::uint64_t trace_id = 0;
+
     /** Invoked once, at the completion time of the final page. */
     std::function<void(const IoRequest &, SimTime completion)> on_complete;
 

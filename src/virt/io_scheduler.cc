@@ -35,6 +35,10 @@ IoScheduler::submit(IoRequestPtr req)
     assert(v != nullptr);
     req->prio = v->priority();
     req->pages_done = 0;
+    req->trace_id = next_req_id_++;
+    FLEETIO_TRACE_EVENT(dev_.tracer(),
+                        ioSubmit(eq.now(), req->vssd, req->trace_id,
+                                 req->type, req->npages));
 
     for (std::uint32_t i = 0; i < req->npages; ++i)
         enqueuePage(req, req->lpa + i);
@@ -129,8 +133,18 @@ IoScheduler::onPageDone(IoRequestPtr req)
     const SimTime now = eq.now();
     const SimTime lat = now - req->submit_time;
     v->latency().record(lat);
-    v->bandwidth().record(req->type,
-                          req->bytes(dev_.geometry().page_size));
+    const std::uint64_t bytes = req->bytes(dev_.geometry().page_size);
+    v->bandwidth().record(req->type, bytes);
+    FLEETIO_TRACE_EVENT(dev_.tracer(),
+                        ioComplete(now, req->vssd, req->trace_id,
+                                   req->type, lat));
+    if (metrics_ != nullptr) {
+        TenantMetrics &tm = tenantMetrics(req->vssd);
+        tm.latency->record(lat);
+        (req->type == IoType::kRead ? tm.read_bytes : tm.write_bytes)
+            ->add(bytes);
+        tm.requests->add(1);
+    }
     if (req->on_complete)
         req->on_complete(*req, now);
 }
@@ -210,7 +224,11 @@ IoScheduler::pump(ChannelId ch)
 
         const VssdId vid = VssdId(best);
         Vssd *v = vssds_.get(vid);
-        v->queue().onDispatch(eq.now() - op.enqueue_time);
+        const SimTime wait = eq.now() - op.enqueue_time;
+        v->queue().onDispatch(wait);
+        FLEETIO_TRACE_EVENT(dev_.tracer(),
+                            ioDispatch(eq.now(), vid,
+                                       op.req->trace_id, ch, wait));
         if (use_stride_)
             stride_.charge(vid);
         auto bit = buckets_.find(vid);
@@ -227,6 +245,22 @@ IoScheduler::pump(ChannelId ch)
         else
             dev_.issueProgram(op.ppa, std::move(done));
     }
+}
+
+IoScheduler::TenantMetrics &
+IoScheduler::tenantMetrics(VssdId id)
+{
+    if (tenant_metrics_.size() <= id)
+        tenant_metrics_.resize(id + 1);
+    TenantMetrics &tm = tenant_metrics_[id];
+    if (tm.latency == nullptr) {
+        const std::string prefix = "t" + std::to_string(id) + ".";
+        tm.latency = &metrics_->histogram(prefix + "latency_ns");
+        tm.read_bytes = &metrics_->counter(prefix + "bytes_read");
+        tm.write_bytes = &metrics_->counter(prefix + "bytes_written");
+        tm.requests = &metrics_->counter(prefix + "requests");
+    }
+    return tm;
 }
 
 void

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/types.h"
 #include "src/ssd/flash_device.h"
 #include "src/virt/io_request.h"
@@ -93,6 +94,17 @@ class IoScheduler
     /** Lifetime count of dispatched page operations. */
     std::uint64_t dispatchedOps() const { return dispatched_ops_; }
 
+    /**
+     * Attach a metrics registry (nullptr = off, the default). Completed
+     * requests then feed per-tenant "t<id>.latency_ns" histograms and
+     * "t<id>.bytes_read/bytes_written/requests" counters.
+     */
+    void setMetrics(obs::MetricsRegistry *m)
+    {
+        metrics_ = m;
+        tenant_metrics_.clear();
+    }
+
   private:
     struct PageOp
     {
@@ -115,8 +127,18 @@ class IoScheduler
     /** Per-channel queues, one deque per vSSD. */
     using ChannelQueues = std::vector<std::deque<PageOp>>;
 
+    /** Cached per-tenant metric handles (built lazily per vSSD). */
+    struct TenantMetrics
+    {
+        obs::WindowedHistogram *latency = nullptr;
+        obs::Counter *read_bytes = nullptr;
+        obs::Counter *write_bytes = nullptr;
+        obs::Counter *requests = nullptr;
+    };
+
     void enqueuePage(IoRequestPtr req, Lpa lpa);
     bool isForeign(const Ftl &ftl, Ppa ppa) const;
+    TenantMetrics &tenantMetrics(VssdId id);
     void enqueueOp(ChannelId ch, VssdId vssd, PageOp op);
     void completeZeroFill(IoRequestPtr req);
     void onPageDone(IoRequestPtr req);
@@ -138,8 +160,12 @@ class IoScheduler
     std::array<std::uint32_t, kNumPriorities> prio_caps_{2u, 6u, 64u};
     bool retry_scheduled_ = false;
     std::uint64_t next_seq_ = 0;
+    std::uint64_t next_req_id_ = 0;
     std::uint64_t queued_ops_ = 0;
     std::uint64_t dispatched_ops_ = 0;
+
+    obs::MetricsRegistry *metrics_ = nullptr;
+    std::vector<TenantMetrics> tenant_metrics_;  // [vssd]
 };
 
 }  // namespace fleetio

@@ -89,6 +89,48 @@ TEST(Histogram, MergeCombinesDistributions)
     EXPECT_EQ(a.min(), 100u);
 }
 
+TEST(Histogram, SnapshotAndResetMovesDataOut)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(std::uint64_t(i));
+    const Histogram snap = h.snapshotAndReset();
+    EXPECT_EQ(snap.count(), 100u);
+    EXPECT_EQ(snap.sum(), 5050u);
+    EXPECT_EQ(snap.min(), 1u);
+    EXPECT_EQ(snap.max(), 100u);
+    // The source is empty and fully reusable.
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.quantile(0.99), 0u);
+    h.record(7);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 7u);
+    EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(Histogram, MergeAfterSnapshotAndResetRebuildsLifetime)
+{
+    // The windowed-metrics pattern: flush each window into a lifetime
+    // histogram; the merged result must equal one continuous recording.
+    Histogram windowed, continuous, lifetime;
+    for (int w = 0; w < 5; ++w) {
+        for (int i = 0; i < 200; ++i) {
+            const std::uint64_t v = std::uint64_t(100 * (w + 1) + i);
+            windowed.record(v);
+            continuous.record(v);
+        }
+        lifetime.merge(windowed.snapshotAndReset());
+    }
+    EXPECT_EQ(windowed.count(), 0u);
+    EXPECT_EQ(lifetime.count(), continuous.count());
+    EXPECT_EQ(lifetime.sum(), continuous.sum());
+    EXPECT_EQ(lifetime.min(), continuous.min());
+    EXPECT_EQ(lifetime.max(), continuous.max());
+    for (double q : {0.5, 0.95, 0.99})
+        EXPECT_EQ(lifetime.quantile(q), continuous.quantile(q));
+}
+
 TEST(Histogram, LargeValuesDoNotOverflowBuckets)
 {
     Histogram h;

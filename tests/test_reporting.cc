@@ -32,6 +32,19 @@ TEST(Table, CsvOutput)
     EXPECT_EQ(os.str(), "a,b\n1,2\n");
 }
 
+TEST(Table, CsvQuotesSpecialCellsPerRfc4180)
+{
+    Table t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    t.addRow({"line\nbreak", "plain"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(),
+              "name,note\n"
+              "\"a,b\",\"say \"\"hi\"\"\"\n"
+              "\"line\nbreak\",plain\n");
+}
+
 TEST(Formatting, Doubles)
 {
     EXPECT_EQ(fmtDouble(1.23456), "1.23");
@@ -119,6 +132,29 @@ TEST(BenchReport, WritesSchemaCellsAndMetrics)
     EXPECT_NE(out.find("\"accuracy\": 0.75"), std::string::npos);
     EXPECT_NE(out.find("cell-a"), std::string::npos);
     EXPECT_NE(out.find("cell-b / P"), std::string::npos);
+}
+
+TEST(BenchReport, JsonCarriesPhaseTotals)
+{
+    BenchReport report("phases_unit");
+    ExperimentResult res;
+    res.policy = "P";
+    res.phases.push_back({"measure", 0.5, 100});
+    res.phases.push_back({"warmup", 0.25, 50});
+    report.addCell("c0", res);
+    ExperimentResult res2;
+    res2.policy = "P";
+    res2.phases.push_back({"measure", 0.5, 200});
+    report.addCell("c1", res2);
+
+    std::ostringstream os;
+    report.writeJson(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"phases\""), std::string::npos);
+    EXPECT_NE(out.find("\"measure\""), std::string::npos);
+    // Totals accumulate across cells: 100 + 200 events.
+    EXPECT_NE(out.find("\"sim_events\": 300"), std::string::npos);
+    EXPECT_NE(out.find("\"warmup\""), std::string::npos);
 }
 
 TEST(BenchReport, WriteIfEnabledIsOffByDefault)
