@@ -11,15 +11,14 @@
  * seconds, so the paper's *shapes* are preserved; absolute numbers are
  * not expected to match a physical board.
  */
-#ifndef FLEETIO_BENCH_BENCH_COMMON_H
-#define FLEETIO_BENCH_BENCH_COMMON_H
+#pragma once
 
-#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/core/env.h"
 #include "src/harness/experiment.h"
 #include "src/harness/parallel.h"
 #include "src/harness/reporting.h"
@@ -96,11 +95,9 @@ measureDuration()
     const char *env = std::getenv("FLEETIO_BENCH_MEASURE_SEC");
     if (!env)
         return sec(kDefaultSec);
-    errno = 0;
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (errno != 0 || end == env || *end != '\0' || v < 1 ||
-        v > 86400) {
+    // -1 is outside [1, 86400], so it doubles as the rejection signal.
+    const long v = parseLongStrict(env, -1, 1, 86400);
+    if (v < 0) {
         static bool warned = false;
         if (!warned) {
             warned = true;
@@ -145,5 +142,3 @@ banner(const std::string &title)
 }
 
 }  // namespace fleetio::bench
-
-#endif  // FLEETIO_BENCH_BENCH_COMMON_H

@@ -5,8 +5,7 @@
  * violation rate stays under the threshold (5 % by default) while
  * maximizing delivered bandwidth.
  */
-#ifndef FLEETIO_CLUSTER_ALPHA_TUNER_H
-#define FLEETIO_CLUSTER_ALPHA_TUNER_H
+#pragma once
 
 #include <functional>
 
@@ -48,5 +47,3 @@ class AlphaTuner
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CLUSTER_ALPHA_TUNER_H

@@ -4,8 +4,7 @@
  * per-window {read bandwidth, write bandwidth, LPA entropy, average I/O
  * size} over 10K-request trace windows.
  */
-#ifndef FLEETIO_CLUSTER_FEATURES_H
-#define FLEETIO_CLUSTER_FEATURES_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,5 +53,3 @@ extractWindows(const std::vector<TraceRecord> &trace,
                std::size_t window_requests = kFeatureWindowRequests);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CLUSTER_FEATURES_H

@@ -3,8 +3,7 @@
  * k-means clustering with k-means++ initialization, used to learn
  * workload types from I/O feature windows (paper §3.4, Fig. 6).
  */
-#ifndef FLEETIO_CLUSTER_KMEANS_H
-#define FLEETIO_CLUSTER_KMEANS_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -42,5 +41,3 @@ class KMeans
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CLUSTER_KMEANS_H

@@ -4,8 +4,7 @@
  * deflation) — used only to render the Fig. 6 workload-cluster scatter
  * in two dimensions, exactly as the paper does.
  */
-#ifndef FLEETIO_CLUSTER_PCA_H
-#define FLEETIO_CLUSTER_PCA_H
+#pragma once
 
 #include <cstddef>
 #include <utility>
@@ -43,5 +42,3 @@ class Pca
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CLUSTER_PCA_H

@@ -6,8 +6,7 @@
  * every learned cluster (which sends FleetIO to the unified reward,
  * paper §3.4).
  */
-#ifndef FLEETIO_CLUSTER_WORKLOAD_CLASSIFIER_H
-#define FLEETIO_CLUSTER_WORKLOAD_CLASSIFIER_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -85,5 +84,3 @@ class WorkloadClassifier
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CLUSTER_WORKLOAD_CLASSIFIER_H

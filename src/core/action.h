@@ -4,8 +4,7 @@
  * Make_Harvestable(gsb_bw), Set_Priority(level) — realized as three
  * factored discrete heads over bandwidth levels / priority levels.
  */
-#ifndef FLEETIO_CORE_ACTION_H
-#define FLEETIO_CORE_ACTION_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -48,5 +47,3 @@ class ActionMapper
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_ACTION_H

@@ -6,8 +6,7 @@
  * Harvest, and ranks Harvest actions (least-harvested first) when
  * demand exceeds supply.
  */
-#ifndef FLEETIO_CORE_ADMISSION_CONTROL_H
-#define FLEETIO_CORE_ADMISSION_CONTROL_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -80,5 +79,3 @@ class AdmissionControl
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_ADMISSION_CONTROL_H

@@ -3,8 +3,7 @@
  * One FleetIO RL agent: a PPO-trained policy deployed in a vSSD
  * (paper §3.2 — one agent per vSSD, acting independently).
  */
-#ifndef FLEETIO_CORE_AGENT_H
-#define FLEETIO_CORE_AGENT_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -153,5 +152,3 @@ class FleetIoAgent
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_AGENT_H

@@ -12,8 +12,7 @@
  * (no harvesting, no donating, medium priority) for a probation window
  * before learning is re-enabled.
  */
-#ifndef FLEETIO_CORE_AGENT_SUPERVISOR_H
-#define FLEETIO_CORE_AGENT_SUPERVISOR_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -137,5 +136,3 @@ class AgentSupervisor
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_AGENT_SUPERVISOR_H

@@ -3,8 +3,7 @@
  * FleetIO framework configuration — the RL-side half of paper Table 3
  * plus action-space and admission-control knobs.
  */
-#ifndef FLEETIO_CORE_CONFIG_H
-#define FLEETIO_CORE_CONFIG_H
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -134,5 +133,3 @@ struct FleetIoConfig
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_CONFIG_H

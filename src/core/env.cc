@@ -1,0 +1,34 @@
+#include "src/core/env.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <limits>
+
+namespace fleetio {
+
+long
+parseLongStrict(const char *value, long fallback, long min, long max)
+{
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    long v = 0;
+    for (const char *p = value; *p != '\0'; ++p) {
+        if (!std::isdigit(static_cast<unsigned char>(*p)))
+            return fallback;
+        const long d = *p - '0';
+        if (v > (std::numeric_limits<long>::max() - d) / 10)
+            return fallback;  // would overflow
+        v = v * 10 + d;
+    }
+    if (v < min || v > max)
+        return fallback;
+    return v;
+}
+
+long
+envLong(const char *name, long fallback, long min, long max)
+{
+    return parseLongStrict(std::getenv(name), fallback, min, max);
+}
+
+}  // namespace fleetio

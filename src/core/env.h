@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared, exception-free parsing for environment knobs. Every
+ * FLEETIO_* integer knob (bench jobs, measure seconds, checkpoint
+ * interval) funnels through these instead of ad-hoc strtol/std::stoi
+ * call sites: strict validation, explicit fallbacks, and no throwing
+ * paths (hot-path rule R2, DESIGN.md §10).
+ */
+#pragma once
+
+namespace fleetio {
+
+/**
+ * Parse @p value as a bare decimal integer: digits only (no sign, no
+ * whitespace, no trailing garbage), overflow-checked, and confined to
+ * [@p min, @p max]. Returns @p fallback for nullptr/empty/malformed/
+ * out-of-range input — pass a fallback outside [min, max] when the
+ * caller needs to distinguish "invalid" from a legal value (e.g. to
+ * warn). Never throws, never touches errno.
+ */
+long parseLongStrict(const char *value, long fallback, long min,
+                     long max);
+
+/** getenv(@p name) fed through parseLongStrict; unset behaves like
+ *  invalid (returns @p fallback). */
+long envLong(const char *name, long fallback, long min, long max);
+
+}  // namespace fleetio

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cerrno>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "src/core/env.h"
 #include "src/core/teacher.h"
 
 namespace fleetio {
@@ -30,17 +30,8 @@ actionCode(const AgentAction &a)
 int
 checkpointIntervalFromEnv(int fallback)
 {
-    const char *env = std::getenv("FLEETIO_CHECKPOINT_INTERVAL_WINDOWS");
-    if (env == nullptr || *env == '\0')
-        return fallback;
-    errno = 0;
-    char *end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (errno != 0 || end == env || *end != '\0' || v < 1 ||
-        v > 1000000000L) {
-        return fallback;
-    }
-    return int(v);
+    return int(envLong("FLEETIO_CHECKPOINT_INTERVAL_WINDOWS", fallback,
+                       1, 1000000000L));
 }
 
 }  // namespace

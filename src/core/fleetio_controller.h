@@ -5,8 +5,7 @@
  * applies Set_Priority directly and routes Harvest/Make_Harvestable
  * through admission control, and schedules PPO fine-tuning.
  */
-#ifndef FLEETIO_CORE_FLEETIO_CONTROLLER_H
-#define FLEETIO_CORE_FLEETIO_CONTROLLER_H
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -171,5 +170,3 @@ class FleetIoController
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_FLEETIO_CONTROLLER_H

@@ -3,8 +3,7 @@
  * FleetIO reward functions: the per-vSSD reward of Eq. 1 and the
  * beta-blended multi-agent reward of Eq. 2.
  */
-#ifndef FLEETIO_CORE_REWARD_H
-#define FLEETIO_CORE_REWARD_H
+#pragma once
 
 #include <vector>
 
@@ -33,5 +32,3 @@ std::vector<double>
 multiAgentRewards(const std::vector<double> &single_rewards, double beta);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_REWARD_H

@@ -3,8 +3,7 @@
  * RL state construction (paper Table 1): the nine per-vSSD states plus
  * two shared cross-agent states, stacked over three decision windows.
  */
-#ifndef FLEETIO_CORE_STATE_EXTRACTOR_H
-#define FLEETIO_CORE_STATE_EXTRACTOR_H
+#pragma once
 
 #include <deque>
 #include <unordered_map>
@@ -61,5 +60,3 @@ class StateExtractor
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_STATE_EXTRACTOR_H

@@ -9,8 +9,7 @@
  * Used to bootstrap agents (behaviour cloning approximates the paper's
  * offline pre-training) and as an interpretable reference policy.
  */
-#ifndef FLEETIO_CORE_TEACHER_H
-#define FLEETIO_CORE_TEACHER_H
+#pragma once
 
 #include "src/core/action.h"
 #include "src/core/config.h"
@@ -46,5 +45,3 @@ AgentAction teacherAction(const Vssd &vssd, const GsbManager &gsb,
                           const TeacherConfig &tcfg = TeacherConfig{});
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_CORE_TEACHER_H

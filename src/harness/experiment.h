@@ -5,8 +5,7 @@
  * measures, and returns the metrics every figure of the paper is
  * derived from.
  */
-#ifndef FLEETIO_HARNESS_EXPERIMENT_H
-#define FLEETIO_HARNESS_EXPERIMENT_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -106,5 +105,3 @@ SimTime calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
                       const TestbedOptions &opts);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARNESS_EXPERIMENT_H

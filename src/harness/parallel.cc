@@ -1,28 +1,17 @@
 #include "src/harness/parallel.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
 #include <cstdlib>
 #include <iostream>
+
+#include "src/core/env.h"
 
 namespace fleetio {
 
 unsigned
 parallelJobCount(const char *value, unsigned fallback)
 {
-    if (value == nullptr || *value == '\0')
-        return fallback;
-    // strtol tolerates leading whitespace and signs; a job count is a
-    // bare decimal integer, so anything else is garbage.
-    if (!std::isdigit(static_cast<unsigned char>(*value)))
-        return fallback;
-    errno = 0;
-    char *end = nullptr;
-    const long v = std::strtol(value, &end, 10);
-    if (errno != 0 || end == value || *end != '\0' || v < 1 || v > 4096)
-        return fallback;
-    return unsigned(v);
+    return unsigned(parseLongStrict(value, long(fallback), 1, 4096));
 }
 
 unsigned

@@ -10,8 +10,7 @@
  * Job count: pass an explicit @p jobs, or 0 to use benchJobs(), which
  * honors FLEETIO_BENCH_JOBS and defaults to hardware_concurrency.
  */
-#ifndef FLEETIO_HARNESS_PARALLEL_H
-#define FLEETIO_HARNESS_PARALLEL_H
+#pragma once
 
 #include <condition_variable>
 #include <deque>
@@ -130,5 +129,3 @@ runExperiments(const std::vector<ExperimentSpec> &specs,
                unsigned jobs = 0);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARNESS_PARALLEL_H

@@ -130,6 +130,8 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
 }
 
 BenchReport::BenchReport(std::string name)
+    // fleetio-lint: allow(nondeterminism): perf-tracking wall time —
+    // reported as cells/sec metadata, never fed into the simulation.
     : name_(std::move(name)), start_(std::chrono::steady_clock::now())
 {
 }
@@ -192,9 +194,10 @@ BenchReport::setMetric(const std::string &key, double value)
 double
 BenchReport::elapsedSeconds() const
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
+    // fleetio-lint: allow(nondeterminism): perf-tracking wall time —
+    // bench throughput metadata, never fed into the simulation.
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
 }
 
 std::uint64_t

@@ -4,8 +4,7 @@
  * matching the rows the paper's figures plot, plus the machine-readable
  * perf-tracking record (BENCH_<name>.json) every bench can emit.
  */
-#ifndef FLEETIO_HARNESS_REPORTING_H
-#define FLEETIO_HARNESS_REPORTING_H
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -136,9 +135,9 @@ class BenchReport
     std::vector<Cell> cells_;
     std::map<std::string, double> metrics_;
     std::map<std::string, PhaseTotal> phase_totals_;
+    // fleetio-lint: allow(nondeterminism): perf-tracking wall clock —
+    // measures the harness itself, never observed by the simulation.
     std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARNESS_REPORTING_H

@@ -52,10 +52,10 @@ Testbed::addTenant(WorkloadKind kind,
         profile, eq_, sched_, v.id(), v.ftl().logicalPages(),
         tenant_seed_));
     kinds_.push_back(kind);
-    if (tracer_ != nullptr) {
-        tracer_->setTrackName(obs::tenantTrack(v.id()),
-                              cfg.name + "-" + std::to_string(v.id()));
-    }
+    FLEETIO_TRACE_EVENT(tracer_.get(),
+                        setTrackName(obs::tenantTrack(v.id()),
+                                     cfg.name + "-" +
+                                         std::to_string(v.id())));
     return v;
 }
 
@@ -169,9 +169,10 @@ Testbed::observeWindow(double util)
                     ? last_tenant_bytes_[v->id()] : 0;
             const double mbps =
                 double(total - last) / (1e6 * win_sec);
-            tracer_->counterSample(now, obs::tenantTrack(v->id()),
-                                   obs::CounterKind::kBandwidthMBps,
-                                   mbps);
+            FLEETIO_TRACE_EVENT(
+                tracer_.get(),
+                counterSample(now, obs::tenantTrack(v->id()),
+                              obs::CounterKind::kBandwidthMBps, mbps));
         }
     }
     if (opts_.obs.metrics || tracer_ != nullptr) {

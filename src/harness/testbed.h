@@ -5,8 +5,7 @@
  * device-utilization sampling — the scaffolding every benchmark and
  * integration test builds on.
  */
-#ifndef FLEETIO_HARNESS_TESTBED_H
-#define FLEETIO_HARNESS_TESTBED_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -165,5 +164,3 @@ class Testbed
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARNESS_TESTBED_H

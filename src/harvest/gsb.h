@@ -5,8 +5,7 @@
  * home vSSD; a harvesting vSSD plugs it into its FTL as extra write
  * capacity, sharing the underlying channels' bandwidth.
  */
-#ifndef FLEETIO_HARVEST_GSB_H
-#define FLEETIO_HARVEST_GSB_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -97,5 +96,3 @@ class Gsb : public ExternalWriteSource
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARVEST_GSB_H

@@ -5,8 +5,7 @@
  * immediately when unharvested, lazily through the home vSSD's GC when
  * in use.
  */
-#ifndef FLEETIO_HARVEST_GSB_MANAGER_H
-#define FLEETIO_HARVEST_GSB_MANAGER_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -131,5 +130,3 @@ class GsbManager
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARVEST_GSB_MANAGER_H

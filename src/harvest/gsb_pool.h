@@ -4,8 +4,7 @@
  * lock-free linked lists, one list per channel count (n_chls), indexed
  * and sorted by n_chls for best-fit searching.
  */
-#ifndef FLEETIO_HARVEST_GSB_POOL_H
-#define FLEETIO_HARVEST_GSB_POOL_H
+#pragma once
 
 #include <atomic>
 #include <cstdint>
@@ -87,5 +86,3 @@ class GsbPool
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARVEST_GSB_POOL_H

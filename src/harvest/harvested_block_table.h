@@ -5,8 +5,7 @@
  * GC victim selection prioritizes marked blocks so donated capacity flows
  * back to its home vSSD promptly.
  */
-#ifndef FLEETIO_HARVEST_HARVESTED_BLOCK_TABLE_H
-#define FLEETIO_HARVEST_HARVESTED_BLOCK_TABLE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,5 +53,3 @@ class HarvestedBlockTable
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_HARVEST_HARVESTED_BLOCK_TABLE_H

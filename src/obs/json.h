@@ -5,8 +5,7 @@
  * Lives below the harness so src/obs can use it without a layering cycle;
  * src/harness/reporting.h re-exports it for existing callers.
  */
-#ifndef FLEETIO_OBS_JSON_H
-#define FLEETIO_OBS_JSON_H
+#pragma once
 
 #include <string>
 
@@ -26,5 +25,3 @@ std::string jsonNumber(double v);
 std::string csvField(const std::string &s);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_OBS_JSON_H

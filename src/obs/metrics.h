@@ -10,8 +10,7 @@
  * "t0.latency_ns", "t1.bytes_written"); device-/controller-level
  * metrics use "device." / "controller." prefixes.
  */
-#ifndef FLEETIO_OBS_METRICS_H
-#define FLEETIO_OBS_METRICS_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -161,5 +160,3 @@ class MetricsRegistry
 };
 
 }  // namespace fleetio::obs
-
-#endif  // FLEETIO_OBS_METRICS_H

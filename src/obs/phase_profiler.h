@@ -9,8 +9,7 @@
  * only ever flows into the opt-in JSON perf record, never into bench
  * stdout (which must stay byte-identical across runs).
  */
-#ifndef FLEETIO_OBS_PHASE_PROFILER_H
-#define FLEETIO_OBS_PHASE_PROFILER_H
+#pragma once
 
 #include <chrono>
 #include <cstdint>
@@ -44,6 +43,8 @@ class PhaseProfiler
     double totalSeconds() const;
 
   private:
+    // fleetio-lint: allow(nondeterminism): wall-clock phase attribution
+    // is the whole point of the profiler; results are reporting-only.
     using Clock = std::chrono::steady_clock;
 
     std::vector<Phase> phases_;
@@ -54,5 +55,3 @@ class PhaseProfiler
 };
 
 }  // namespace fleetio::obs
-
-#endif  // FLEETIO_OBS_PHASE_PROFILER_H

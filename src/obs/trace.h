@@ -17,8 +17,7 @@
  *  - Bounded memory. Rings overwrite their oldest events and count the
  *    drops; a run can never OOM from tracing.
  */
-#ifndef FLEETIO_OBS_TRACE_H
-#define FLEETIO_OBS_TRACE_H
+#pragma once
 
 #include <cstdint>
 #include <map>
@@ -317,5 +316,3 @@ std::string traceDirFromEnv();
             fio_tr__->call;                                           \
     } while (0)
 #endif
-
-#endif  // FLEETIO_OBS_TRACE_H

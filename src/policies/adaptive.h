@@ -4,8 +4,7 @@
  * each vSSD in a window are proportional to its bandwidth utilization
  * in the prior window.
  */
-#ifndef FLEETIO_POLICIES_ADAPTIVE_H
-#define FLEETIO_POLICIES_ADAPTIVE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -31,5 +30,3 @@ class AdaptivePolicy : public Policy
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_ADAPTIVE_H

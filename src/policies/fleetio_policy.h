@@ -5,8 +5,7 @@
  * fine-tuning thereafter. Also covers the paper's reward ablations
  * (§4.4) and the mixed-isolation layout (§4.5).
  */
-#ifndef FLEETIO_POLICIES_FLEETIO_POLICY_H
-#define FLEETIO_POLICIES_FLEETIO_POLICY_H
+#pragma once
 
 #include <memory>
 
@@ -84,5 +83,3 @@ void buildMixedLayout(Testbed &tb,
                       const std::vector<SimTime> &slos);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_FLEETIO_POLICY_H

@@ -4,8 +4,7 @@
  * the flash channels (paper §4.1) — strongest isolation, lowest
  * utilization.
  */
-#ifndef FLEETIO_POLICIES_HARDWARE_ISOLATION_H
-#define FLEETIO_POLICIES_HARDWARE_ISOLATION_H
+#pragma once
 
 #include "src/policies/policy.h"
 
@@ -21,5 +20,3 @@ class HardwareIsolationPolicy : public Policy
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_HARDWARE_ISOLATION_H

@@ -5,8 +5,7 @@
  * FleetIO (plus its reward-ablation variants) and the mixed-isolation
  * configurations of §4.5.
  */
-#ifndef FLEETIO_POLICIES_POLICY_H
-#define FLEETIO_POLICIES_POLICY_H
+#pragma once
 
 #include <memory>
 #include <string>
@@ -90,5 +89,3 @@ std::unique_ptr<Policy> makePolicy(PolicyKind kind);
 double alphaForKind(WorkloadKind kind);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_POLICY_H

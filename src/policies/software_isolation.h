@@ -4,8 +4,7 @@
  * bucket rate limiting plus stride scheduling provide (weak) isolation
  * (paper §4.1) — best utilization, worst tail latency.
  */
-#ifndef FLEETIO_POLICIES_SOFTWARE_ISOLATION_H
-#define FLEETIO_POLICIES_SOFTWARE_ISOLATION_H
+#pragma once
 
 #include "src/policies/policy.h"
 
@@ -35,5 +34,3 @@ class SoftwareIsolationPolicy : public Policy
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_SOFTWARE_ISOLATION_H

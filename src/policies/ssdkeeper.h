@@ -4,8 +4,7 @@
  * channels a vSSD demands from its workload pattern, and the device is
  * statically repartitioned accordingly (hardware-isolated thereafter).
  */
-#ifndef FLEETIO_POLICIES_SSDKEEPER_H
-#define FLEETIO_POLICIES_SSDKEEPER_H
+#pragma once
 
 #include <memory>
 
@@ -61,5 +60,3 @@ class SsdKeeperPolicy : public Policy
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_POLICIES_SSDKEEPER_H

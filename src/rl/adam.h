@@ -2,8 +2,7 @@
  * @file
  * Adam optimizer (Kingma & Ba) over a flat ParameterStore.
  */
-#ifndef FLEETIO_RL_ADAM_H
-#define FLEETIO_RL_ADAM_H
+#pragma once
 
 #include <cstdint>
 
@@ -57,5 +56,3 @@ class Adam
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_ADAM_H

@@ -3,8 +3,7 @@
  * Categorical (softmax) distribution utilities used by the factored
  * discrete action heads.
  */
-#ifndef FLEETIO_RL_CATEGORICAL_H
-#define FLEETIO_RL_CATEGORICAL_H
+#pragma once
 
 #include <cstddef>
 
@@ -56,5 +55,3 @@ class Categorical
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_CATEGORICAL_H

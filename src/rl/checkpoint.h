@@ -9,8 +9,7 @@
  * through a temp-file + rename so a crash mid-write never destroys the
  * previous snapshot.
  */
-#ifndef FLEETIO_RL_CHECKPOINT_H
-#define FLEETIO_RL_CHECKPOINT_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -117,5 +116,3 @@ class CheckpointStore
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_CHECKPOINT_H

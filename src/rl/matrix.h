@@ -4,8 +4,7 @@
  * store with paired gradients, plus free-function vector helpers. The
  * policy network is ~9K parameters, so simplicity beats BLAS here.
  */
-#ifndef FLEETIO_RL_MATRIX_H
-#define FLEETIO_RL_MATRIX_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -65,5 +64,3 @@ Vector softmax(const Vector &logits);
 Vector logSoftmax(const Vector &logits);
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_MATRIX_H

@@ -4,8 +4,7 @@
  * an Mlp trunk of tanh-activated Linear layers (paper Table 3: hidden
  * layer sizes [50, 50]).
  */
-#ifndef FLEETIO_RL_MLP_H
-#define FLEETIO_RL_MLP_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -80,5 +79,3 @@ class Mlp
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_MLP_H

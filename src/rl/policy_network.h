@@ -5,8 +5,7 @@
  * Harvest level, Make_Harvestable level, Set_Priority level — and a
  * scalar value head.
  */
-#ifndef FLEETIO_RL_POLICY_NETWORK_H
-#define FLEETIO_RL_POLICY_NETWORK_H
+#pragma once
 
 #include <cstddef>
 #include <string>
@@ -114,5 +113,3 @@ class PolicyNetwork
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_POLICY_NETWORK_H

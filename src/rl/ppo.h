@@ -3,8 +3,7 @@
  * Proximal Policy Optimization (Schulman et al. 2017) — the algorithm
  * FleetIO trains its per-vSSD agents with (paper §3.8).
  */
-#ifndef FLEETIO_RL_PPO_H
-#define FLEETIO_RL_PPO_H
+#pragma once
 
 #include <cstdint>
 
@@ -83,5 +82,3 @@ class PpoTrainer
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_PPO_H

@@ -2,8 +2,7 @@
  * @file
  * On-policy rollout storage with Generalized Advantage Estimation.
  */
-#ifndef FLEETIO_RL_ROLLOUT_BUFFER_H
-#define FLEETIO_RL_ROLLOUT_BUFFER_H
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -65,5 +64,3 @@ class RolloutBuffer
 };
 
 }  // namespace fleetio::rl
-
-#endif  // FLEETIO_RL_ROLLOUT_BUFFER_H

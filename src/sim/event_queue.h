@@ -4,8 +4,7 @@
  * monotonically advancing clock. All device latencies in FleetIO are
  * modelled by scheduling callbacks on this queue.
  */
-#ifndef FLEETIO_SIM_EVENT_QUEUE_H
-#define FLEETIO_SIM_EVENT_QUEUE_H
+#pragma once
 
 #include <cstdint>
 #include <queue>
@@ -114,5 +113,3 @@ class EventQueue
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SIM_EVENT_QUEUE_H

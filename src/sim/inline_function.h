@@ -11,8 +11,7 @@
  * also accepts non-copyable captures (e.g. unique_ptr) that
  * std::function rejects.
  */
-#ifndef FLEETIO_SIM_INLINE_FUNCTION_H
-#define FLEETIO_SIM_INLINE_FUNCTION_H
+#pragma once
 
 #include <cstddef>
 #include <memory>
@@ -185,5 +184,3 @@ class InlineFunction<R(Args...), Capacity>
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SIM_INLINE_FUNCTION_H

@@ -6,8 +6,7 @@
  * std::mt19937 because it is faster, smaller, and its output is identical
  * across standard libraries, keeping experiments bit-reproducible.
  */
-#ifndef FLEETIO_SIM_RNG_H
-#define FLEETIO_SIM_RNG_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -87,5 +86,3 @@ class Rng
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SIM_RNG_H

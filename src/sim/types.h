@@ -2,8 +2,7 @@
  * @file
  * Fundamental simulation types shared by every FleetIO module.
  */
-#ifndef FLEETIO_SIM_TYPES_H
-#define FLEETIO_SIM_TYPES_H
+#pragma once
 
 #include <cstdint>
 #include <limits>
@@ -55,5 +54,3 @@ enum class Priority : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
 inline constexpr int kNumPriorities = 3;
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SIM_TYPES_H

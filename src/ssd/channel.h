@@ -3,8 +3,7 @@
  * Flash channel: a shared bus resource plus an outstanding-operation
  * counter used to enforce the per-channel queue depth.
  */
-#ifndef FLEETIO_SSD_CHANNEL_H
-#define FLEETIO_SSD_CHANNEL_H
+#pragma once
 
 #include <cstdint>
 
@@ -57,5 +56,3 @@ class Channel
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_CHANNEL_H

@@ -6,8 +6,7 @@
  * draws no random numbers and changes no behaviour, so fault-free runs
  * stay bit-identical to a build without it.
  */
-#ifndef FLEETIO_SSD_FAULT_INJECTOR_H
-#define FLEETIO_SSD_FAULT_INJECTOR_H
+#pragma once
 
 #include <cstdint>
 
@@ -129,5 +128,3 @@ class FaultInjector
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_FAULT_INJECTOR_H

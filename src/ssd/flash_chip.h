@@ -3,8 +3,7 @@
  * Per-chip flash state: block lifecycle (free -> open -> full -> erased),
  * valid-page bitmaps, and the chip's timing resource.
  */
-#ifndef FLEETIO_SSD_FLASH_CHIP_H
-#define FLEETIO_SSD_FLASH_CHIP_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -151,5 +150,3 @@ class FlashChip
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_FLASH_CHIP_H

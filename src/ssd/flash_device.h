@@ -4,12 +4,14 @@
  * for read/program/erase, plus device-wide free-block pools and the
  * physical-to-logical reverse map that GC needs.
  */
-#ifndef FLEETIO_SSD_FLASH_DEVICE_H
-#define FLEETIO_SSD_FLASH_DEVICE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
 
+// fleetio-lint: allow(layering): trace instrumentation is deliberately
+// cross-layer — a null-guarded pointer + macro that compiles out, the
+// one obs dependency the device layer is allowed (DESIGN.md §9).
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
@@ -228,5 +230,3 @@ class FlashDevice
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_FLASH_DEVICE_H

@@ -4,8 +4,7 @@
  * mapping, write placement over the vSSD's channels and any harvested
  * external capacity, quota accounting, and GC-relocation support.
  */
-#ifndef FLEETIO_SSD_FTL_H
-#define FLEETIO_SSD_FTL_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -198,5 +197,3 @@ class Ftl
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_FTL_H

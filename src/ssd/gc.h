@@ -5,12 +5,11 @@
  * prioritizes harvested/reclaimed blocks (per the Harvested Block Table),
  * and copyback of harvested data to the harvesting vSSD's own blocks.
  */
-#ifndef FLEETIO_SSD_GC_H
-#define FLEETIO_SSD_GC_H
+#pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 #include "src/ssd/flash_device.h"
 #include "src/ssd/ftl.h"
@@ -33,10 +32,10 @@ class GcEngine
     struct Hooks
     {
         /** Resolve the FTL owning a page's data (for copyback remap). */
-        std::function<Ftl *(VssdId)> ftl_of;
+        InlineFunction<Ftl *(VssdId)> ftl_of;
 
         /** Invoked after a block is physically erased and freed. */
-        std::function<void(ChannelId, ChipId, BlockId)> on_erased;
+        InlineFunction<void(ChannelId, ChipId, BlockId)> on_erased;
     };
 
     GcEngine(FlashDevice &dev, Ftl &home, HarvestedBlockTable &hbt,
@@ -107,5 +106,3 @@ class GcEngine
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_GC_H

@@ -3,8 +3,7 @@
  * SSD geometry and timing parameters (paper Table 3), plus the physical
  * page address codec shared by the whole device model.
  */
-#ifndef FLEETIO_SSD_GEOMETRY_H
-#define FLEETIO_SSD_GEOMETRY_H
+#pragma once
 
 #include <cstdint>
 
@@ -158,5 +157,3 @@ SsdGeometry testGeometry();
 SsdGeometry benchGeometry();
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_GEOMETRY_H

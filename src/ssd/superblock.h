@@ -4,8 +4,7 @@
  * with a per-channel write cursor. This is the physical backing of the
  * ghost superblock (gSB) abstraction.
  */
-#ifndef FLEETIO_SSD_SUPERBLOCK_H
-#define FLEETIO_SSD_SUPERBLOCK_H
+#pragma once
 
 #include <cstdint>
 #include <utility>
@@ -91,5 +90,3 @@ class Superblock
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_SSD_SUPERBLOCK_H

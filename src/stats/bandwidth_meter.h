@@ -2,8 +2,7 @@
  * @file
  * Windowed bandwidth / IOPS accounting for vSSDs and the whole device.
  */
-#ifndef FLEETIO_STATS_BANDWIDTH_METER_H
-#define FLEETIO_STATS_BANDWIDTH_METER_H
+#pragma once
 
 #include <cstdint>
 
@@ -67,5 +66,3 @@ class BandwidthMeter
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_STATS_BANDWIDTH_METER_H

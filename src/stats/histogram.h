@@ -3,8 +3,7 @@
  * Log-bucketed latency histogram (HDR-histogram style) for cheap lifetime
  * percentile queries without retaining every sample.
  */
-#ifndef FLEETIO_STATS_HISTOGRAM_H
-#define FLEETIO_STATS_HISTOGRAM_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -78,5 +77,3 @@ class Histogram
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_STATS_HISTOGRAM_H

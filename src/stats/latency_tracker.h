@@ -3,8 +3,7 @@
  * Per-vSSD latency accounting: windowed exact percentiles + SLO-violation
  * tracking, plus a lifetime histogram for end-of-run reporting.
  */
-#ifndef FLEETIO_STATS_LATENCY_TRACKER_H
-#define FLEETIO_STATS_LATENCY_TRACKER_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -84,5 +83,3 @@ class LatencyTracker
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_STATS_LATENCY_TRACKER_H

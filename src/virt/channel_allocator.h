@@ -3,8 +3,7 @@
  * Channel-allocation helpers: equal hardware-isolated splits, fully
  * shared software-isolated maps, and quota math.
  */
-#ifndef FLEETIO_VIRT_CHANNEL_ALLOCATOR_H
-#define FLEETIO_VIRT_CHANNEL_ALLOCATOR_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -54,5 +53,3 @@ class ChannelAllocator
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_CHANNEL_ALLOCATOR_H

@@ -3,13 +3,12 @@
  * The tenant-visible I/O request: a contiguous logical page range with a
  * direction, priority, and completion callback.
  */
-#ifndef FLEETIO_VIRT_IO_REQUEST_H
-#define FLEETIO_VIRT_IO_REQUEST_H
+#pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 
 namespace fleetio {
@@ -35,7 +34,7 @@ struct IoRequest
     std::uint64_t trace_id = 0;
 
     /** Invoked once, at the completion time of the final page. */
-    std::function<void(const IoRequest &, SimTime completion)> on_complete;
+    InlineFunction<void(const IoRequest &, SimTime completion)> on_complete;
 
     std::uint64_t bytes(std::uint32_t page_size) const
     {
@@ -46,5 +45,3 @@ struct IoRequest
 using IoRequestPtr = std::shared_ptr<IoRequest>;
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_IO_REQUEST_H

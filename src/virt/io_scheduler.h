@@ -5,8 +5,7 @@
  * queue-depth limit using priority FIFO (FleetIO / hardware isolation)
  * and/or token-bucket + stride scheduling (software isolation).
  */
-#ifndef FLEETIO_VIRT_IO_SCHEDULER_H
-#define FLEETIO_VIRT_IO_SCHEDULER_H
+#pragma once
 
 #include <array>
 #include <cstdint>
@@ -169,5 +168,3 @@ class IoScheduler
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_IO_SCHEDULER_H

@@ -4,8 +4,7 @@
  * among vSSDs, used by the software-isolation baseline so high-intensity
  * tenants cannot starve low-intensity ones (paper §4.1).
  */
-#ifndef FLEETIO_VIRT_STRIDE_SCHEDULER_H
-#define FLEETIO_VIRT_STRIDE_SCHEDULER_H
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -60,5 +59,3 @@ class StrideScheduler
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_STRIDE_SCHEDULER_H

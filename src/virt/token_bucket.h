@@ -3,8 +3,7 @@
  * Token-bucket rate limiter used by the software-isolation baseline
  * (blk-throttle style, paper §2.1/§4.1).
  */
-#ifndef FLEETIO_VIRT_TOKEN_BUCKET_H
-#define FLEETIO_VIRT_TOKEN_BUCKET_H
+#pragma once
 
 #include "src/sim/types.h"
 
@@ -54,5 +53,3 @@ class TokenBucket
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_TOKEN_BUCKET_H

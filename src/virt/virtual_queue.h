@@ -4,8 +4,7 @@
  * the QDelay RL state (paper §3.3.1 — "a dynamic virtual queue in each
  * vSSD to track all the pending I/O requests").
  */
-#ifndef FLEETIO_VIRT_VIRTUAL_QUEUE_H
-#define FLEETIO_VIRT_VIRTUAL_QUEUE_H
+#pragma once
 
 #include <cstdint>
 
@@ -63,5 +62,3 @@ class VirtualQueue
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_VIRTUAL_QUEUE_H

@@ -3,16 +3,15 @@
  * The virtual SSD (vSSD): one tenant's slice of the shared device, with
  * its FTL, GC engine, priority level, SLO, and telemetry.
  */
-#ifndef FLEETIO_VIRT_VSSD_H
-#define FLEETIO_VIRT_VSSD_H
+#pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/harvest/harvested_block_table.h"
+#include "src/sim/inline_function.h"
 #include "src/sim/types.h"
 #include "src/ssd/flash_device.h"
 #include "src/ssd/ftl.h"
@@ -122,20 +121,18 @@ class VssdManager
     FlashDevice &device() { return dev_; }
     HarvestedBlockTable &hbt() { return hbt_; }
 
+    /** Block-erase subscriber callable (the gSB manager's hook). */
+    using ErasedCallback = InlineFunction<void(ChannelId, ChipId, BlockId)>;
+
     /** Subscribe to block-erase events from every tenant's GC. */
-    void setOnErased(std::function<void(ChannelId, ChipId, BlockId)> cb)
-    {
-        on_erased_ = std::move(cb);
-    }
+    void setOnErased(ErasedCallback cb) { on_erased_ = std::move(cb); }
 
   private:
     FlashDevice &dev_;
     HarvestedBlockTable &hbt_;
     std::vector<std::unique_ptr<Vssd>> vssds_;
     std::vector<bool> alive_;
-    std::function<void(ChannelId, ChipId, BlockId)> on_erased_;
+    ErasedCallback on_erased_;
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_VIRT_VSSD_H

@@ -5,8 +5,7 @@
  * set, producing the locality (LPA entropy) signatures the clustering
  * module separates workload types by.
  */
-#ifndef FLEETIO_WORKLOADS_ADDRESS_SPACE_H
-#define FLEETIO_WORKLOADS_ADDRESS_SPACE_H
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -64,5 +63,3 @@ class AddressSpace
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_WORKLOADS_ADDRESS_SPACE_H

@@ -10,8 +10,7 @@
  * address locality, and burstiness — which are exactly the features
  * FleetIO's clustering and RL states observe.
  */
-#ifndef FLEETIO_WORKLOADS_GENERATORS_H
-#define FLEETIO_WORKLOADS_GENERATORS_H
+#pragma once
 
 #include <string>
 #include <vector>
@@ -51,5 +50,3 @@ WorkloadProfile profileFor(WorkloadKind kind,
                            double intensity_scale = 1.0);
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_WORKLOADS_GENERATORS_H

@@ -5,8 +5,7 @@
  * parameter profile: arrival process, read/write mix, request sizes,
  * and address pattern — the block-level features FleetIO observes.
  */
-#ifndef FLEETIO_WORKLOADS_WORKLOAD_H
-#define FLEETIO_WORKLOADS_WORKLOAD_H
+#pragma once
 
 #include <cstdint>
 #include <memory>
@@ -138,5 +137,3 @@ class SyntheticWorkload
 };
 
 }  // namespace fleetio
-
-#endif  // FLEETIO_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,17 @@
+// Fixture: R5 header-hygiene — classic guard and a using-directive.
+#ifndef FIXTURE_HEADER_BAD_H
+#define FIXTURE_HEADER_BAD_H
+
+#include <string>
+
+using namespace std;
+
+namespace fixture {
+inline string
+greet()
+{
+    return "hi";
+}
+}  // namespace fixture
+
+#endif  // FIXTURE_HEADER_BAD_H

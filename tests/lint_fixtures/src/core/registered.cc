@@ -1,0 +1,10 @@
+// Fixture: a clean file, listed in the fixture CMakeLists.
+namespace fixture {
+
+int
+add(int a, int b)
+{
+    return a + b;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: suppression rule — an allow() without a reason is itself
+// a violation, and the banned call underneath still fires.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+unexplained()
+{
+    return rand();  // fleetio-lint: allow(nondeterminism)
+}
+
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Fixture: a banned call silenced by a well-formed suppression.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+seeded()
+{
+    // fleetio-lint: allow(nondeterminism): fixture exercising a
+    // reasoned multi-line suppression attached to the next code line.
+    return rand();
+}
+
+}  // namespace fixture

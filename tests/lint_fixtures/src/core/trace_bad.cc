@@ -1,0 +1,15 @@
+// Fixture: R3 trace-macro — raw TraceRecorder emit outside src/obs.
+namespace fixture {
+
+struct Tracer
+{
+    void ioSubmit(int, int, int) {}
+};
+
+void
+emitRaw(Tracer *tracer)
+{
+    tracer->ioSubmit(1, 2, 3);
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: R6 build-registration — not listed in any CMakeLists.
+namespace fixture {
+
+int
+orphan()
+{
+    return 42;
+}
+
+}  // namespace fixture

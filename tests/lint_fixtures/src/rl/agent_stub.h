@@ -1,0 +1,8 @@
+// Fixture: a banned-layer header for the layering fixture to include.
+#pragma once
+
+namespace fixture {
+struct AgentStub
+{
+};
+}  // namespace fixture

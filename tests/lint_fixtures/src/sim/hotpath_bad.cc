@@ -1,0 +1,17 @@
+// Fixture: R2 hotpath — std::function, iostream, and throwing
+// std::stoi in a hot-path directory.
+#include <functional>
+#include <iostream>
+#include <string>
+
+namespace fixture {
+
+std::function<int(int)> g_cb;
+
+void
+printAndParse(const std::string &s)
+{
+    std::cout << std::stoi(s) << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: R4 layering — sim reaching into the RL layer.
+#pragma once
+
+#include "src/rl/agent_stub.h"
+
+namespace fixture {
+struct SimThing
+{
+    AgentStub agent;
+};
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: R1 nondeterminism — wall clock and libc RNG in sim code.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long
+wallNow()
+{
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+int
+libcRandom()
+{
+    return rand();
+}
+
+}  // namespace fixture

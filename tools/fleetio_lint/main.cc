@@ -1,0 +1,74 @@
+/**
+ * @file
+ * fleetio_lint CLI. Exit codes: 0 clean, 1 violations, 2 usage error.
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/fleetio_lint/lint.h"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: fleetio_lint [--root DIR] [--json] [--fix]\n"
+          "                    [--rule ID]... [--list-rules]\n"
+          "\n"
+          "Project-specific static analysis for the FleetIO tree\n"
+          "(DESIGN.md \xc2\xa7" "10). Scans src/, tests/, bench/, examples/\n"
+          "and tools/ under DIR (default: current directory).\n"
+          "\n"
+          "  --root DIR    tree to scan\n"
+          "  --json        machine-readable fleetio-lint-v1 output\n"
+          "  --fix         apply mechanical fixes (include guards ->\n"
+          "                #pragma once) and re-lint\n"
+          "  --rule ID     run only this rule (repeatable)\n"
+          "  --list-rules  print the rule registry and exit\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    bool json = false;
+    fleetio::lint::Options opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--fix") {
+            opts.fix = true;
+        } else if (arg == "--rule" && i + 1 < argc) {
+            opts.rules.push_back(argv[++i]);
+        } else if (arg == "--list-rules") {
+            for (const auto &r : fleetio::lint::rules()) {
+                std::cout << r.issue_tag << "  " << r.id << "\n      "
+                          << r.summary << "\n";
+            }
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "fleetio_lint: unknown argument '" << arg
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    const fleetio::lint::Result res =
+        fleetio::lint::runLint(root, opts);
+    if (json)
+        fleetio::lint::writeJson(std::cout, res, root);
+    else
+        fleetio::lint::writeHuman(std::cout, res);
+    return res.clean() ? 0 : 1;
+}
