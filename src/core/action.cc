@@ -7,7 +7,8 @@ namespace fleetio {
 
 ActionMapper::ActionMapper(const FleetIoConfig &cfg)
     : harvest_levels_(cfg.harvest_bw_levels),
-      harvestable_levels_(cfg.harvestable_bw_levels)
+      harvestable_levels_(cfg.harvestable_bw_levels),
+      tier_head_(cfg.qos_tier_head)
 {
     assert(!harvest_levels_.empty());
     assert(!harvestable_levels_.empty());
@@ -16,15 +17,18 @@ ActionMapper::ActionMapper(const FleetIoConfig &cfg)
 rl::ActionSpec
 ActionMapper::spec() const
 {
-    return rl::ActionSpec{{harvest_levels_.size(),
-                           harvestable_levels_.size(),
-                           std::size_t(kNumPriorities)}};
+    rl::ActionSpec spec{{harvest_levels_.size(),
+                         harvestable_levels_.size(),
+                         std::size_t(kNumPriorities)}};
+    if (tier_head_)
+        spec.head_sizes.push_back(kNumQosTiers);
+    return spec;
 }
 
 AgentAction
 ActionMapper::decode(const std::vector<std::size_t> &indices) const
 {
-    assert(indices.size() == 3);
+    assert(indices.size() == (tier_head_ ? 4u : 3u));
     AgentAction a;
     a.harvest_bw_mbps =
         harvest_levels_[std::min(indices[0],
@@ -34,6 +38,10 @@ ActionMapper::decode(const std::vector<std::size_t> &indices) const
                                      harvestable_levels_.size() - 1)];
     a.priority = Priority(std::min<std::size_t>(indices[2],
                                                 kNumPriorities - 1));
+    if (tier_head_) {
+        a.tier = QosTier(std::min<std::size_t>(indices[3],
+                                               kNumQosTiers - 1));
+    }
     return a;
 }
 
@@ -56,10 +64,13 @@ ActionMapper::nearestLevel(const std::vector<double> &levels,
 std::vector<std::size_t>
 ActionMapper::encode(const AgentAction &action) const
 {
-    return {nearestLevel(harvest_levels_, action.harvest_bw_mbps),
-            nearestLevel(harvestable_levels_,
-                         action.harvestable_bw_mbps),
-            std::size_t(action.priority)};
+    std::vector<std::size_t> out = {
+        nearestLevel(harvest_levels_, action.harvest_bw_mbps),
+        nearestLevel(harvestable_levels_, action.harvestable_bw_mbps),
+        std::size_t(action.priority)};
+    if (tier_head_)
+        out.push_back(std::size_t(action.tier));
+    return out;
 }
 
 }  // namespace fleetio

@@ -1,10 +1,18 @@
 /**
  * @file
- * Admission control for RL actions (paper §3.5): validates each agent's
+ * *Action*-level admission control (paper §3.5): validates each agent's
  * Harvest / Make_Harvestable actions against provider policy, batches
  * them (50 ms), reorders each batch to execute Make_Harvestable before
  * Harvest, and ranks Harvest actions (least-harvested first) when
  * demand exceeds supply.
+ *
+ * Naming note: despite the generic name, AdmissionControl admits
+ * individual *RL actions*, not tenants. *Tenant*-level admission —
+ * deciding whether an arriving vSSD is accepted, queued with backoff,
+ * or rejected based on demand forecasts and SLO headroom — lives in
+ * src/core/tenant_admission.h (TenantAdmissionController, DESIGN.md
+ * §11). The two compose: an admitted tenant's agent still has every
+ * resource action batched through this class.
  */
 #pragma once
 

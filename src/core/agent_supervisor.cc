@@ -24,6 +24,18 @@ AgentSupervisor::attach(FleetIoAgent &agent, Vssd &vssd)
     entries_.push_back(std::move(e));
 }
 
+bool
+AgentSupervisor::detach(VssdId id)
+{
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->vssd->id() == id) {
+            entries_.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
 AgentSupervisor::Entry *
 AgentSupervisor::find(VssdId id)
 {

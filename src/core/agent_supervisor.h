@@ -76,6 +76,14 @@ class AgentSupervisor
     void attach(FleetIoAgent &agent, Vssd &vssd);
 
     /**
+     * Drop an agent from supervision (tenant retirement). The agent
+     * and vSSD pointers become invalid after the controller destroys
+     * the Managed entry, so this must run before removal completes.
+     * @return true when an entry was removed.
+     */
+    bool detach(VssdId id);
+
+    /**
      * Supervised replacement for agent.decide(): run the divergence
      * checks against this window's @p reward and @p window_slo_vio,
      * quarantine on a trip, and return either the agent's learned

@@ -81,12 +81,37 @@ FleetIoController::addVssd(Vssd &vssd, double alpha)
                                              seed_counter_);
     seed_counter_ = seed_counter_ * 6364136223846793005ull + 1442695040888963407ull;
     m.agent->setAlpha(alpha);
+    const int bootstrap =
+        windows_ > 0 && cfg_.late_join_teacher_windows >= 0
+            ? cfg_.late_join_teacher_windows
+            : std::max(cfg_.teacher_windows, 0);
+    m.teacher_until = windows_ + std::uint64_t(bootstrap);
     attachStore(m);
     managed_.push_back(std::move(m));
     agents_.push_back(managed_.back().agent.get());
     if (supervisor_ != nullptr)
         supervisor_->attach(*managed_.back().agent, vssd);
     return *managed_.back().agent;
+}
+
+bool
+FleetIoController::removeVssd(VssdId id)
+{
+    for (std::size_t i = 0; i < managed_.size(); ++i) {
+        if (managed_[i].vssd->id() != id)
+            continue;
+        if (supervisor_ != nullptr)
+            supervisor_->detach(id);
+        extractor_.reset(id);
+        managed_.erase(managed_.begin() + std::ptrdiff_t(i));
+        agents_.clear();
+        for (auto &m : managed_)
+            agents_.push_back(m.agent.get());
+        // Gauges are cached by managed index; positions shifted.
+        reward_gauges_.clear();
+        return true;
+    }
+    return false;
 }
 
 void
@@ -227,6 +252,12 @@ FleetIoController::applyAction(Managed &m, const AgentAction &action)
     // Set_Priority applies immediately on the vSSD's I/O (§3.3.2).
     m.vssd->setPriority(action.priority);
 
+    // Set_Tier (optional fourth head): the agent may volunteer a
+    // degraded G-state; the elastic manager's floor still wins
+    // (Vssd::effectiveTier takes the worse of the two).
+    if (cfg_.qos_tier_head)
+        m.vssd->setTier(action.tier);
+
     // Resource actions go through batched admission control.
     if (action.harvestable_bw_mbps > 0 ||
         gsb_.donatedChannels(m.vssd->id()) > 0) {
@@ -272,9 +303,9 @@ FleetIoController::tick()
         multiAgentRewards(single, cfg_.beta);
 
     // 3. Per-agent: credit reward, refresh workload type, build state,
-    //    act (teacher-guided during the bootstrap phase), apply.
-    const bool teacher_phase =
-        windows_ <= std::uint64_t(std::max(cfg_.teacher_windows, 0));
+    //    act (teacher-guided during the bootstrap phase), apply. The
+    //    bootstrap deadline is per-agent so hot-added tenants clone
+    //    the teacher for their own first windows (DESIGN.md §11).
     for (std::size_t i = 0; i < n; ++i) {
         Managed &m = managed_[i];
         FleetIoAgent &agent = *m.agent;
@@ -319,6 +350,7 @@ FleetIoController::tick()
         const rl::Vector state = extractor_.stacked(m.vssd->id());
 
         AgentAction action;
+        const bool teacher_phase = windows_ <= m.teacher_until;
         if (teacher_phase && agent.training()) {
             // Bootstrap: execute the heuristic teacher and clone it.
             action = teacherAction(

@@ -52,9 +52,21 @@ class FleetIoController
 
     /**
      * Register a vSSD under FleetIO management, deploying a fresh agent
-     * with reward coefficient @p alpha.
+     * with reward coefficient @p alpha. May be called mid-run (elastic
+     * hot-add): the new agent then bootstraps from the teacher policy
+     * for late_join_teacher_windows (DESIGN.md §11) before PPO takes
+     * over, exactly like a cold-start fleet does for teacher_windows.
      */
     FleetIoAgent &addVssd(Vssd &vssd, double alpha);
+
+    /**
+     * Retire a vSSD from management (elastic removal): detaches it from
+     * the supervisor, drops its state history and reward telemetry, and
+     * destroys its agent. The caller is responsible for the data-path
+     * teardown (drain, gSB release, deallocation) — see
+     * ElasticTenancyManager. @return true when the vSSD was managed.
+     */
+    bool removeVssd(VssdId id);
 
     FleetIoAgent *agent(VssdId id);
     std::size_t numAgents() const { return agents_.size(); }
@@ -137,6 +149,10 @@ class FleetIoController
         std::unique_ptr<rl::CheckpointStore> store;
         double reward_sum = 0.0;
         std::uint64_t reward_count = 0;
+        /** Last window (inclusive) of this agent's teacher bootstrap.
+         *  For vSSDs added before start() this equals teacher_windows,
+         *  reproducing the old global check bit-for-bit. */
+        std::uint64_t teacher_until = 0;
     };
 
     void scheduleTick();

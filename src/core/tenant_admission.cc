@@ -1,0 +1,115 @@
+#include "src/core/tenant_admission.h"
+
+#include <algorithm>
+
+namespace fleetio {
+
+std::string
+TenantAdmissionConfig::validate() const
+{
+    if (max_retries < 0)
+        return "tenant_admission.max_retries must be non-negative";
+    if (backoff_base <= 0)
+        return "tenant_admission.backoff_base must be positive";
+    if (backoff_cap < backoff_base)
+        return "tenant_admission.backoff_cap must be >= backoff_base";
+    if (slo_headroom < 0.0 || slo_headroom > 1.0)
+        return "tenant_admission.slo_headroom must be in [0, 1]";
+    if (device_free_floor < 0.0 || device_free_floor > 1.0)
+        return "tenant_admission.device_free_floor must be in [0, 1]";
+    if (forecast_ewma <= 0.0 || forecast_ewma > 1.0)
+        return "tenant_admission.forecast_ewma must be in (0, 1]";
+    if (overcommit < 1.0)
+        return "tenant_admission.overcommit must be at least 1";
+    return {};
+}
+
+TenantAdmissionController::TenantAdmissionController(
+    const TenantAdmissionConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+const TenantAdmissionController::ClassForecast *
+TenantAdmissionController::forecast(int demand_class) const
+{
+    if (demand_class < 0 ||
+        std::size_t(demand_class) >= forecasts_.size()) {
+        return nullptr;
+    }
+    return &forecasts_[std::size_t(demand_class)];
+}
+
+void
+TenantAdmissionController::observeDemand(int demand_class,
+                                         double observed_mbps)
+{
+    if (demand_class < 0 || observed_mbps < 0.0)
+        return;
+    if (forecasts_.size() <= std::size_t(demand_class))
+        forecasts_.resize(std::size_t(demand_class) + 1);
+    ClassForecast &f = forecasts_[std::size_t(demand_class)];
+    if (f.samples == 0) {
+        f.ewma_mbps = observed_mbps;
+    } else {
+        f.ewma_mbps += cfg_.forecast_ewma * (observed_mbps - f.ewma_mbps);
+    }
+    ++f.samples;
+}
+
+double
+TenantAdmissionController::forecastMBps(int demand_class,
+                                        double declared_mbps) const
+{
+    const ClassForecast *f = forecast(demand_class);
+    if (f == nullptr || f->samples == 0)
+        return declared_mbps;
+    // Trust the learned estimate, but never below the declaration's
+    // half: a class that idled historically must not let a declared
+    // heavy hitter through unchecked.
+    return std::max(f->ewma_mbps, 0.5 * declared_mbps);
+}
+
+SimTime
+TenantAdmissionController::backoffDelay(int attempt) const
+{
+    SimTime d = cfg_.backoff_base;
+    for (int i = 0; i < attempt && d < cfg_.backoff_cap; ++i)
+        d *= 2;
+    return std::min(d, cfg_.backoff_cap);
+}
+
+AdmissionDecision
+TenantAdmissionController::decide(const TenantDemand &demand,
+                                  const AdmissionSnapshot &snap,
+                                  int attempt)
+{
+    const bool channels_ok = snap.free_channels >= demand.channels;
+    const bool capacity_ok =
+        snap.device_free_ratio >= cfg_.device_free_floor;
+    const bool slo_ok = snap.mean_slo_violation <= cfg_.slo_headroom;
+    const double granted_mbps =
+        double(demand.channels) * snap.per_channel_mbps;
+    const double need_mbps =
+        forecastMBps(demand.demand_class, demand.declared_mbps);
+    const bool demand_ok =
+        need_mbps <= granted_mbps * cfg_.overcommit;
+
+    if (channels_ok && capacity_ok && slo_ok && demand_ok) {
+        ++accepted_;
+        return AdmissionDecision::kAccept;
+    }
+
+    // Channel, capacity, and SLO pressure all clear with time, so those
+    // shortfalls queue. A demand that cannot fit its own grant even
+    // with overcommit is hopeless and is rejected immediately.
+    if (demand_ok && attempt < cfg_.max_retries &&
+        snap.queued_arrivals < cfg_.max_queue) {
+        ++queued_;
+        return AdmissionDecision::kQueue;
+    }
+    ++rejected_;
+    return AdmissionDecision::kReject;
+}
+
+}  // namespace fleetio

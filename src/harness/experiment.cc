@@ -152,6 +152,9 @@ runExperiment(const ExperimentSpec &spec)
     prof.begin("measure", tb.eq().dispatched());
     policy->beforeMeasure(tb);
     tb.beginMeasurement();
+    // Elastic churn (if configured) plays out inside the measured
+    // region; a no-op for static runs.
+    tb.startChurn();
     tb.run(spec.measure);
     tb.endMeasurement();
 
@@ -167,6 +170,8 @@ runExperiment(const ExperimentSpec &spec)
     res.faults = tb.faultCounters();
     res.blocks_retired = tb.device().totalRetiredBlocks();
     res.gsb_revokes = tb.gsb().revokedCount();
+    if (tb.elastic() != nullptr)
+        res.churn = tb.elastic()->stats();
     for (auto *v : tb.vssds().active()) {
         res.program_fail_repairs += v->ftl().programFailRepairs();
     }

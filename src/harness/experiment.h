@@ -45,6 +45,10 @@ struct ExperimentResult
     std::uint64_t program_fail_repairs = 0;
     std::uint64_t gsb_revokes = 0;
 
+    /** Elastic-tenancy churn outcome (all zero for static runs; see
+     *  DESIGN.md §11). */
+    ChurnStats churn{};
+
     /** Agent-supervision outcome (all zero for non-RL policies and for
      *  healthy supervised runs; see DESIGN.md §8). */
     std::uint64_t agent_trips = 0;

@@ -126,6 +126,7 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
        << " write-amp=" << fmtDouble(res.write_amp) << "\n";
     printFaultSummary(res, os);
     printSupervisionSummary(res, os);
+    printChurnSummary(res, os);
     os << '\n';
 }
 
@@ -152,6 +153,14 @@ BenchReport::addCell(const std::string &label,
     if (res.faults.total() != 0) {
         c.metrics["fault_events"] = double(res.faults.total());
         c.metrics["blocks_retired"] = double(res.blocks_retired);
+    }
+    if (res.churn.arrivals != 0 || res.churn.removals_requested != 0) {
+        c.metrics["churn_arrivals"] = double(res.churn.arrivals);
+        c.metrics["churn_admitted"] = double(res.churn.admitted);
+        c.metrics["churn_rejected"] = double(res.churn.rejected);
+        c.metrics["churn_removals"] =
+            double(res.churn.removals_completed);
+        c.metrics["tier_stepdowns"] = double(res.churn.tier_stepdowns);
     }
     if (res.agent_trips != 0 || res.agent_grad_skips != 0 ||
         res.agent_checkpoints != 0) {
@@ -321,6 +330,20 @@ printSupervisionSummary(const ExperimentResult &res, std::ostream &os)
        << " lease-releases=" << res.agent_lease_releases
        << " grad-skips=" << res.agent_grad_skips
        << " checkpoints=" << res.agent_checkpoints << '\n';
+}
+
+void
+printChurnSummary(const ExperimentResult &res, std::ostream &os)
+{
+    const ChurnStats &c = res.churn;
+    if (c.arrivals == 0 && c.removals_requested == 0)
+        return;
+    os << "churn: arrivals=" << c.arrivals << " admitted=" << c.admitted
+       << " retries=" << c.retries << " rejected=" << c.rejected
+       << " removals=" << c.removals_completed << "/"
+       << c.removals_requested << " stepdowns=" << c.tier_stepdowns
+       << " recoveries=" << c.tier_recoveries
+       << " max-attempts=" << c.max_attempts_observed << '\n';
 }
 
 }  // namespace fleetio

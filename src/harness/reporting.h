@@ -63,6 +63,10 @@ void printFaultSummary(const ExperimentResult &res, std::ostream &os);
 void printSupervisionSummary(const ExperimentResult &res,
                              std::ostream &os);
 
+/** One-line elastic-churn outcome (arrivals / admissions / removals /
+ *  tier stepdowns); prints nothing on a static run. */
+void printChurnSummary(const ExperimentResult &res, std::ostream &os);
+
 // jsonEscape / jsonNumber come from src/obs/json.h (the single JSON
 // escaping implementation, shared with the trace/metrics exporters).
 

@@ -31,6 +31,64 @@ Testbed::Testbed(const TestbedOptions &opts)
     }
     if (opts_.obs.metrics)
         sched_.setMetrics(&metrics_);
+    if (opts_.churn.enabled()) {
+        elastic_ = std::make_unique<ElasticTenancyManager>(
+            opts_.churn.elastic, eq_, vssds_, gsb_, sched_);
+        elastic_->setProvisioner(
+            [this](const TenantDemand &d,
+                   const std::vector<ChannelId> &chs) {
+                return provisionTenant(d, chs);
+            });
+        // Drain phase entry: stop the departing tenant's generator.
+        // stop() bumps the workload generation, so even already-
+        // scheduled arrival events become no-ops — nothing submits to
+        // a retiring vSSD.
+        elastic_->setRetirer(
+            [this](VssdId id) { workloads_[id]->stop(); });
+    }
+}
+
+VssdId
+Testbed::provisionTenant(const TenantDemand &demand,
+                         const std::vector<ChannelId> &channels)
+{
+    const auto kind = WorkloadKind(demand.demand_class);
+    Vssd &v = addTenant(kind, channels, demand.quota_blocks, demand.slo);
+    // Mid-run arrival: no warm-up fill (the tenant starts cold, like a
+    // freshly attached cloud volume); its workload starts immediately.
+    workloads_.back()->start();
+    if (on_tenant_added_)
+        on_tenant_added_(v);
+    return v.id();
+}
+
+void
+Testbed::startChurn()
+{
+    if (!elastic_)
+        return;
+    // The ledger starts from the static layout so arrivals only carve
+    // genuinely free channels.
+    for (auto *v : vssds_.active())
+        elastic_->claimStatic(v->id(), v->config().channels);
+    for (auto *v : vssds_.active())
+        elastic_->registerTenantClass(v->id(), int(tenantKind(v->id())));
+    for (const ChurnEvent &ev : opts_.churn.schedule) {
+        eq_.scheduleAfter(ev.at, [this, ev]() {
+            if (ev.kind == ChurnEvent::Kind::kArrive) {
+                TenantDemand d;
+                d.demand_class = int(ev.workload);
+                d.declared_mbps = ev.declared_mbps;
+                d.channels = ev.channels;
+                d.quota_blocks = ev.quota_blocks;
+                d.slo = ev.slo;
+                elastic_->submitArrival(d);
+            } else {
+                elastic_->requestRemoval(ev.remove_id);
+            }
+        });
+    }
+    elastic_->start();
 }
 
 Vssd &

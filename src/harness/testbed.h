@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/core/elastic_tenancy.h"
 #include "src/harvest/gsb_manager.h"
 #include "src/harvest/harvested_block_table.h"
 #include "src/obs/metrics.h"
@@ -24,6 +26,31 @@
 #include "src/workloads/workload.h"
 
 namespace fleetio {
+
+/**
+ * One scheduled elastic-tenancy event. Offsets are relative to the
+ * startChurn() call (runExperiment starts churn when measurement
+ * begins, so offsets land inside the measured region).
+ */
+struct ChurnEvent
+{
+    enum class Kind { kArrive, kRemove };
+
+    SimTime at = 0;
+    Kind kind = Kind::kArrive;
+
+    // kArrive: the arriving tenant's demand. The workload kind doubles
+    // as the admission demand-class, so arrivals of the same kind share
+    // one learned forecast.
+    WorkloadKind workload = WorkloadKind::kYcsbB;
+    double declared_mbps = 0.0;
+    std::uint32_t channels = 0;
+    std::uint64_t quota_blocks = 0;
+    SimTime slo = kTimeNever;
+
+    // kRemove: which tenant departs.
+    VssdId remove_id = kNoVssd;
+};
 
 /** Scale/behaviour knobs shared by tests and benches. */
 struct TestbedOptions
@@ -60,6 +87,19 @@ struct TestbedOptions
         std::size_t trace_capacity = std::size_t(1) << 16;
     };
     ObsOptions obs{};
+
+    /** Elastic-tenancy churn (DESIGN.md §11). An empty schedule keeps
+     *  the elastic layer entirely unconstructed — no extra events, no
+     *  extra state — so static runs stay byte-identical to a testbed
+     *  without it. Churn assumes a hardware-isolated static layout
+     *  (each channel owned by at most one tenant). */
+    struct ChurnOptions
+    {
+        std::vector<ChurnEvent> schedule;
+        ElasticTenancyConfig elastic{};
+        bool enabled() const { return !schedule.empty(); }
+    };
+    ChurnOptions churn{};
 };
 
 /**
@@ -108,6 +148,28 @@ class Testbed
     SyntheticWorkload &workload(VssdId id) { return *workloads_[id]; }
     WorkloadKind tenantKind(VssdId id) const { return kinds_[id]; }
 
+    /**
+     * The elastic-tenancy manager, or nullptr when no churn schedule is
+     * configured (static runs never construct the elastic layer).
+     */
+    ElasticTenancyManager *elastic() { return elastic_.get(); }
+
+    /** Invoked after an admitted arrival is provisioned (vSSD created,
+     *  workload started); RL policies use it to attach a mid-run agent
+     *  bootstrapped from the teacher. */
+    using TenantHook = std::function<void(Vssd &)>;
+    void setOnTenantAdded(TenantHook hook)
+    {
+        on_tenant_added_ = std::move(hook);
+    }
+
+    /**
+     * Record the static layout in the channel ledger and schedule every
+     * churn event relative to now; also starts the pressure/degradation
+     * loop. No-op without a churn schedule.
+     */
+    void startChurn();
+
     /** Pre-fill every tenant's logical space (no simulated time). */
     void warmupFill();
 
@@ -138,6 +200,8 @@ class Testbed
     }
 
   private:
+    VssdId provisionTenant(const TenantDemand &demand,
+                           const std::vector<ChannelId> &channels);
     void sampleUtilization();
     void observeWindow(double util);
 
@@ -151,6 +215,8 @@ class Testbed
     IoScheduler sched_;
     std::unique_ptr<obs::TraceRecorder> tracer_;
     obs::MetricsRegistry metrics_;
+    std::unique_ptr<ElasticTenancyManager> elastic_;
+    TenantHook on_tenant_added_;
     std::vector<std::unique_ptr<SyntheticWorkload>> workloads_;
     std::vector<WorkloadKind> kinds_;
 

@@ -385,6 +385,51 @@ GsbManager::forceReleaseHeld(VssdId harvester_id)
 }
 
 std::uint32_t
+GsbManager::retireDonor(VssdId home_id)
+{
+    std::uint32_t torn_down = 0;
+
+    // Unharvested pool gSBs first: instant metadata-only destruction,
+    // blocks return to the free pool with no data movement.
+    std::vector<Gsb *> pool_gsbs;
+    for (auto &[id, g] : gsbs_) {
+        if (g->homeVssd() == home_id && !g->reclaiming() && !g->inUse())
+            pool_gsbs.push_back(g.get());
+    }
+    for (Gsb *g : pool_gsbs) {
+        if (!pool_.remove(g))
+            continue;
+        destroyUnharvestedAfterPoolRemove(g);
+        ++torn_down;
+    }
+
+    // In-use gSBs: detach each harvester's write path immediately so no
+    // new foreign data lands on the departing tenant's channels; the
+    // already-written blocks drain through the home GC (the retirement
+    // scrub keeps requestReclaim() asserted until they are gone).
+    std::vector<Gsb *> in_use;
+    for (auto &[id, g] : gsbs_) {
+        if (g->homeVssd() == home_id && !g->reclaiming())
+            in_use.push_back(g.get());
+    }
+    for (Gsb *g : in_use) {
+        reclaimLazily(g);
+        ++torn_down;
+    }
+    return torn_down;
+}
+
+bool
+GsbManager::hasGsbsForHome(VssdId home_id) const
+{
+    for (const auto &[id, g] : gsbs_) {
+        if (g->homeVssd() == home_id)
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
 GsbManager::harvest(VssdId harvester_id, double gsb_bw_mbps)
 {
     Vssd *harvester = vssds_.get(harvester_id);

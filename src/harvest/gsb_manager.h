@@ -96,6 +96,22 @@ class GsbManager
      */
     std::uint32_t forceReleaseHeld(VssdId harvester);
 
+    /**
+     * Tenant-retirement teardown for the donor side (DESIGN.md §11):
+     * destroy every unharvested pool gSB @p home donated (instant,
+     * metadata-only) and lazily reclaim every in-use one (harvester
+     * write path detached immediately; blocks drain back through the
+     * home GC's HBT-prioritized victims). Combined with
+     * forceReleaseHeld(home) — the harvester side — this removes every
+     * gSB edge touching a departing tenant.
+     * @return gSBs torn down.
+     */
+    std::uint32_t retireDonor(VssdId home);
+
+    /** Any gSB (in any state) still recorded with @p home as donor?
+     *  The retirement scrub phase polls this toward zero. */
+    bool hasGsbsForHome(VssdId home) const;
+
     /** Telemetry: gSBs created / harvested / reclaimed so far. */
     std::uint64_t createdCount() const { return created_; }
     std::uint64_t harvestedCount() const { return harvested_; }

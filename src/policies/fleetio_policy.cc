@@ -123,6 +123,24 @@ FleetIoPolicy::setup(Testbed &tb,
     }
     controller_->setTraining(true);
     controller_->start();
+
+    if (tb.elastic() != nullptr) {
+        // Elastic churn: removals retire agents through
+        // FleetIoController::removeVssd, G-state / retirement
+        // permission checks guard the action batch, and admitted
+        // arrivals get an agent bootstrapped mid-run from the teacher
+        // (late-join windows; see FleetIoConfig::
+        // late_join_teacher_windows).
+        tb.elastic()->attachController(controller_.get());
+        const double unified = cfg.unified_alpha;
+        tb.setOnTenantAdded([this, &tb, unified](Vssd &v) {
+            const WorkloadKind kind = tb.tenantKind(v.id());
+            const double alpha = variant_.customized_alpha
+                                     ? alphaForKind(kind)
+                                     : unified;
+            controller_->addVssd(v, alpha);
+        });
+    }
 }
 
 void

@@ -290,6 +290,32 @@ Ftl::onBlocksReclaimed(std::uint64_t n)
     blocks_used_ = blocks_used_ >= n ? blocks_used_ - n : 0;
 }
 
+std::uint64_t
+Ftl::releaseOpenPoints()
+{
+    std::uint64_t released = 0;
+    auto drop = [&](OpenPoint &pt) {
+        if (!pt.valid)
+            return;
+        FlashChip &chp = *pt.chp;
+        const FlashBlock &blk = chp.block(pt.block);
+        if (blk.state == BlockState::kOpen) {
+            if (blk.write_ptr == 0) {
+                chp.releaseBlock(pt.block);
+                ++released;
+            } else {
+                chp.closeBlock(pt.block);
+            }
+        }
+        pt.valid = false;
+    };
+    for (OpenPoint &pt : open_points_)
+        drop(pt);
+    drop(relo_point_);
+    onBlocksReclaimed(released);
+    return released;
+}
+
 void
 Ftl::addExternalSource(ExternalWriteSource *src)
 {

@@ -100,6 +100,17 @@ class Ftl
     void onBlocksReclaimed(std::uint64_t n);
 
     /**
+     * Close or release every open write point (vSSD retirement,
+     * DESIGN.md §11). Never-programmed open blocks return straight to
+     * the device free pool (no erase, no wear) and are credited back
+     * to the quota; partially-written ones are closed so GC can select
+     * them as victims — without this, retirement scrub would stall
+     * forever because open blocks are never GC victims.
+     * @return the number of blocks released immediately.
+     */
+    std::uint64_t releaseOpenPoints();
+
+    /**
      * Transfer @p n blocks of quota to a gSB (home-side donation).
      * The blocks were allocated directly through the device by the gSB
      * manager; this keeps the quota ledger consistent.

@@ -86,4 +86,44 @@ ChannelAllocator::proportionalSplit(const SsdGeometry &geo,
     return out;
 }
 
+std::vector<ChannelId>
+ChannelLedger::carve(VssdId owner, std::uint32_t n)
+{
+    if (n == 0 || freeChannels() < n)
+        return {};
+    std::vector<ChannelId> out;
+    out.reserve(n);
+    for (ChannelId ch = 0; ch < owner_.size() && out.size() < n; ++ch) {
+        if (owner_[ch] == kNoVssd) {
+            owner_[ch] = owner;
+            out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+std::uint32_t
+ChannelLedger::release(VssdId owner)
+{
+    std::uint32_t released = 0;
+    for (ChannelId ch = 0; ch < owner_.size(); ++ch) {
+        if (owner_[ch] == owner) {
+            owner_[ch] = kNoVssd;
+            ++released;
+        }
+    }
+    return released;
+}
+
+std::uint32_t
+ChannelLedger::freeChannels() const
+{
+    std::uint32_t n = 0;
+    for (VssdId o : owner_) {
+        if (o == kNoVssd)
+            ++n;
+    }
+    return n;
+}
+
 }  // namespace fleetio

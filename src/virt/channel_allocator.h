@@ -52,4 +52,55 @@ class ChannelAllocator
     }
 };
 
+/**
+ * Online channel-ownership ledger for elastic tenancy (DESIGN.md §11).
+ * Unlike the static ChannelAllocator helpers, which compute a whole
+ * layout up front, the ledger tracks who owns each channel *now* so
+ * arriving tenants can carve free channels mid-run and departing
+ * tenants return theirs after drain-then-reclaim completes.
+ *
+ * Deterministic by construction: carve always takes the lowest-index
+ * free channels, so a fixed arrival order yields a fixed layout.
+ */
+class ChannelLedger
+{
+  public:
+    explicit ChannelLedger(const SsdGeometry &geo)
+        : owner_(geo.num_channels, kNoVssd)
+    {
+    }
+
+    /** Record ownership of an externally-computed (static) layout. */
+    void claim(VssdId owner, const std::vector<ChannelId> &channels)
+    {
+        for (ChannelId ch : channels)
+            owner_[ch] = owner;
+    }
+
+    /**
+     * Carve @p n free channels for @p owner, lowest index first.
+     * @return the carved set, or an empty vector (no partial grants)
+     *         when fewer than @p n channels are free.
+     */
+    std::vector<ChannelId> carve(VssdId owner, std::uint32_t n);
+
+    /** Return every channel owned by @p owner to the free pool.
+     *  @return how many were released. */
+    std::uint32_t release(VssdId owner);
+
+    /** Channels currently unowned. */
+    std::uint32_t freeChannels() const;
+
+    /** Owner of @p ch, or kNoVssd when free. */
+    VssdId ownerOf(ChannelId ch) const { return owner_[ch]; }
+
+    std::uint32_t totalChannels() const
+    {
+        return std::uint32_t(owner_.size());
+    }
+
+  private:
+    std::vector<VssdId> owner_;  // [channel] -> owner or kNoVssd
+};
+
 }  // namespace fleetio

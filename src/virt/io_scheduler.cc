@@ -27,13 +27,43 @@ IoScheduler::setRateLimit(VssdId id, double rate_bytes_per_sec,
 }
 
 void
+IoScheduler::setTierLimit(VssdId id, double rate_bytes_per_sec,
+                          double burst_bytes)
+{
+    if (rate_bytes_per_sec <= 0) {
+        tier_buckets_.erase(id);
+        return;
+    }
+    tier_buckets_[id] = std::make_unique<TokenBucket>(rate_bytes_per_sec,
+                                                      burst_bytes);
+}
+
+bool
+IoScheduler::tenantQuiesced(VssdId id) const
+{
+    if (inflightRequests(id) != 0)
+        return false;
+    for (const BlockedWrite &bw : blocked_) {
+        if (bw.req->vssd == id)
+            return false;
+    }
+    return true;
+}
+
+void
 IoScheduler::submit(IoRequestPtr req)
 {
     EventQueue &eq = dev_.eventQueue();
     req->submit_time = eq.now();
     Vssd *v = vssds_.get(req->vssd);
     assert(v != nullptr);
-    req->prio = v->priority();
+    assert(vssds_.alive(req->vssd) &&
+           "I/O submitted for a removed vSSD");
+    assert(!v->retiring() && "I/O submitted for a draining vSSD");
+    req->prio = v->effectivePriority();
+    if (inflight_reqs_.size() <= req->vssd)
+        inflight_reqs_.resize(req->vssd + 1, 0);
+    ++inflight_reqs_[req->vssd];
     req->pages_done = 0;
     req->trace_id = next_req_id_++;
     FLEETIO_TRACE_EVENT(dev_.tracer(),
@@ -128,6 +158,9 @@ IoScheduler::onPageDone(IoRequestPtr req)
     ++req->pages_done;
     if (req->pages_done < req->npages)
         return;
+    assert(req->vssd < inflight_reqs_.size() &&
+           inflight_reqs_[req->vssd] > 0);
+    --inflight_reqs_[req->vssd];
     EventQueue &eq = dev_.eventQueue();
     Vssd *v = vssds_.get(req->vssd);
     const SimTime now = eq.now();
@@ -170,6 +203,16 @@ IoScheduler::pump(ChannelId ch)
             auto bit = buckets_.find(VssdId(vid));
             if (bit != buckets_.end()) {
                 TokenBucket &tb = *bit->second;
+                if (tb.tokens(eq.now()) + 1e-9 < page_bytes) {
+                    earliest_token = std::min(
+                        earliest_token,
+                        tb.availableAt(page_bytes, eq.now()));
+                    continue;
+                }
+            }
+            auto tbit = tier_buckets_.find(VssdId(vid));
+            if (tbit != tier_buckets_.end()) {
+                TokenBucket &tb = *tbit->second;
                 if (tb.tokens(eq.now()) + 1e-9 < page_bytes) {
                     earliest_token = std::min(
                         earliest_token,
@@ -234,6 +277,9 @@ IoScheduler::pump(ChannelId ch)
         auto bit = buckets_.find(vid);
         if (bit != buckets_.end())
             bit->second->tryConsume(page_bytes, eq.now());
+        auto tbit = tier_buckets_.find(vid);
+        if (tbit != tier_buckets_.end())
+            tbit->second->tryConsume(page_bytes, eq.now());
 
         IoRequestPtr req = op.req;
         auto done = [this, req, ch]() {

@@ -80,9 +80,30 @@ class IoScheduler
     void setRateLimit(VssdId id, double rate_bytes_per_sec,
                       double burst_bytes);
 
+    /**
+     * G-state bandwidth cap (DESIGN.md §11), kept separate from the
+     * policy-owned setRateLimit so software-isolation baselines and
+     * elastic degradation compose. Pass rate <= 0 to remove.
+     */
+    void setTierLimit(VssdId id, double rate_bytes_per_sec,
+                      double burst_bytes);
+
     /** Submit one tenant request. The scheduler stamps submit_time and
-     *  the vSSD's current priority. */
+     *  the vSSD's current priority (clamped by its G-state ceiling). */
     void submit(IoRequestPtr req);
+
+    /** Requests submitted but not yet completed for one tenant. */
+    std::uint64_t inflightRequests(VssdId id) const
+    {
+        return id < inflight_reqs_.size() ? inflight_reqs_[id] : 0;
+    }
+
+    /**
+     * True when a tenant has nothing in the scheduler: no in-flight
+     * requests (which covers queued page ops) and no capacity-blocked
+     * writes. The drain phase of retirement polls this.
+     */
+    bool tenantQuiesced(VssdId id) const;
 
     /** Page operations waiting across all channels (telemetry). */
     std::uint64_t queuedOps() const { return queued_ops_; }
@@ -149,6 +170,8 @@ class IoScheduler
     VssdManager &vssds_;
     std::vector<ChannelQueues> queues_;  // [channel][vssd]
     std::unordered_map<VssdId, std::unique_ptr<TokenBucket>> buckets_;
+    std::unordered_map<VssdId, std::unique_ptr<TokenBucket>> tier_buckets_;
+    std::vector<std::uint64_t> inflight_reqs_;  // [vssd]
     StrideScheduler stride_;
     std::vector<BlockedWrite> blocked_;
     std::vector<bool> token_pump_scheduled_;

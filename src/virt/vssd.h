@@ -18,6 +18,7 @@
 #include "src/ssd/gc.h"
 #include "src/stats/bandwidth_meter.h"
 #include "src/stats/latency_tracker.h"
+#include "src/virt/qos_tier.h"
 #include "src/virt/virtual_queue.h"
 
 namespace fleetio {
@@ -61,6 +62,29 @@ class Vssd
     Priority priority() const { return priority_; }
     void setPriority(Priority p) { priority_ = p; }
 
+    /**
+     * G-state (DESIGN.md §11). `tier()` is what the controller (or the
+     * RL tier head) requested; `tierFloor()` is the degradation floor
+     * imposed by the elastic manager under pressure. The scheduler
+     * honours the worse of the two. Both default to G0, where the
+     * clamp is the identity — static runs are unaffected.
+     */
+    QosTier tier() const { return tier_; }
+    void setTier(QosTier t) { tier_ = t; }
+    QosTier tierFloor() const { return tier_floor_; }
+    void setTierFloor(QosTier t) { tier_floor_ = t; }
+    QosTier effectiveTier() const { return worseTier(tier_, tier_floor_); }
+
+    /** Effective priority after the G-state ceiling. */
+    Priority effectivePriority() const
+    {
+        return clampPriority(priority_, effectiveTier());
+    }
+
+    /** Retiring tenants must not submit new I/O (drain phase). */
+    bool retiring() const { return retiring_; }
+    void setRetiring(bool on) { retiring_ = on; }
+
     SimTime slo() const { return latency_.slo(); }
     void setSlo(SimTime slo) { latency_.setSlo(slo); }
 
@@ -89,6 +113,9 @@ class Vssd
     BandwidthMeter bandwidth_;
     VirtualQueue queue_;
     Priority priority_ = Priority::kMedium;
+    QosTier tier_ = QosTier::kG0;
+    QosTier tier_floor_ = QosTier::kG0;
+    bool retiring_ = false;
 };
 
 /**
@@ -113,6 +140,12 @@ class VssdManager
     Vssd *get(VssdId id);
     const Vssd *get(VssdId id) const;
     std::size_t size() const { return vssds_.size(); }
+
+    /** Is this id created and not deallocated? */
+    bool alive(VssdId id) const
+    {
+        return id < alive_.size() && alive_[id];
+    }
 
     /** Active (not deallocated) vSSDs. */
     std::vector<Vssd *> active();

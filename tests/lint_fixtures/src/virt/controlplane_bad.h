@@ -1,0 +1,12 @@
+// Fixture: R4 layering — the data plane pulling in the tenant
+// control plane.
+#pragma once
+
+#include "src/core/tenant_admission.h"
+
+namespace fixture {
+struct VirtThing
+{
+    int admission_state = 0;
+};
+}  // namespace fixture

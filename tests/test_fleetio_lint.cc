@@ -63,7 +63,7 @@ TEST(LintFixtures, FullRunFlagsEveryRule)
 {
     const Result r = runLint(fixturesRoot());
     EXPECT_FALSE(r.clean());
-    EXPECT_EQ(r.files_scanned, 10u);
+    EXPECT_EQ(r.files_scanned, 11u);
     EXPECT_EQ(r.suppressions_used, 1u);
     for (const char *rule :
          {"nondeterminism", "hotpath", "trace-macro", "layering",
@@ -109,6 +109,17 @@ TEST(LintFixtures, R4LayeringFlagsSimIncludingRl)
     const auto hits = inFile(r, "layering", "layering_bad.h");
     ASSERT_EQ(hits.size(), 1u);
     EXPECT_NE(hits[0].message.find("src/rl/agent_stub.h"),
+              std::string::npos);
+}
+
+TEST(LintFixtures, R4LayeringFlagsVirtIncludingControlPlane)
+{
+    const Result r = runRule("layering");
+    const auto hits = inFile(r, "layering", "controlplane_bad.h");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_NE(hits[0].message.find("src/core/tenant_admission.h"),
+              std::string::npos);
+    EXPECT_NE(hits[0].message.find("control plane"),
               std::string::npos);
 }
 

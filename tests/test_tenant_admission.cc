@@ -1,0 +1,185 @@
+/** @file Tests for tenant-level admission control (DESIGN.md §11). */
+#include <gtest/gtest.h>
+
+#include "src/core/tenant_admission.h"
+
+namespace fleetio {
+namespace {
+
+TenantAdmissionConfig
+cfg()
+{
+    TenantAdmissionConfig c;
+    c.max_queue = 4;
+    c.max_retries = 3;
+    c.backoff_base = msec(100);
+    c.backoff_cap = msec(800);
+    c.slo_headroom = 0.25;
+    c.device_free_floor = 0.05;
+    c.overcommit = 1.5;
+    return c;
+}
+
+TenantDemand
+demand(std::uint32_t channels = 4, double declared = 100.0,
+       int cls = 0)
+{
+    TenantDemand d;
+    d.demand_class = cls;
+    d.declared_mbps = declared;
+    d.channels = channels;
+    d.quota_blocks = 1024;
+    d.slo = msec(5);
+    return d;
+}
+
+AdmissionSnapshot
+healthy()
+{
+    AdmissionSnapshot s;
+    s.free_channels = 8;
+    s.per_channel_mbps = 50.0;
+    s.device_free_ratio = 0.5;
+    s.mean_slo_violation = 0.0;
+    s.queued_arrivals = 0;
+    return s;
+}
+
+TEST(TenantAdmissionConfig, ValidateCatchesEachKnob)
+{
+    EXPECT_TRUE(cfg().validate().empty());
+    auto c = cfg();
+    c.max_retries = -1;
+    EXPECT_FALSE(c.validate().empty());
+    c = cfg();
+    c.backoff_base = 0;
+    EXPECT_FALSE(c.validate().empty());
+    c = cfg();
+    c.backoff_cap = c.backoff_base - 1;
+    EXPECT_FALSE(c.validate().empty());
+    c = cfg();
+    c.slo_headroom = 1.5;
+    EXPECT_FALSE(c.validate().empty());
+    c = cfg();
+    c.forecast_ewma = 0.0;
+    EXPECT_FALSE(c.validate().empty());
+    c = cfg();
+    c.overcommit = 0.9;
+    EXPECT_FALSE(c.validate().empty());
+}
+
+TEST(TenantAdmission, AcceptsWhenEverythingFits)
+{
+    TenantAdmissionController ac(cfg());
+    EXPECT_EQ(ac.decide(demand(), healthy(), 0),
+              AdmissionDecision::kAccept);
+    EXPECT_EQ(ac.accepted(), 1u);
+}
+
+TEST(TenantAdmission, QueuesOnChannelShortage)
+{
+    TenantAdmissionController ac(cfg());
+    auto s = healthy();
+    s.free_channels = 2;  // < 4 requested, clears when someone leaves
+    EXPECT_EQ(ac.decide(demand(), s, 0), AdmissionDecision::kQueue);
+    EXPECT_EQ(ac.queuedDecisions(), 1u);
+}
+
+TEST(TenantAdmission, QueuesOnCapacityAndSloPressure)
+{
+    TenantAdmissionController ac(cfg());
+    auto s = healthy();
+    s.device_free_ratio = 0.01;  // below the floor
+    EXPECT_EQ(ac.decide(demand(), s, 0), AdmissionDecision::kQueue);
+    s = healthy();
+    s.mean_slo_violation = 0.5;  // above the headroom
+    EXPECT_EQ(ac.decide(demand(), s, 0), AdmissionDecision::kQueue);
+}
+
+TEST(TenantAdmission, RejectsInfeasibleDemandImmediately)
+{
+    TenantAdmissionController ac(cfg());
+    // 4 channels x 50 MB/s x 1.5 overcommit = 300 MB/s ceiling.
+    EXPECT_EQ(ac.decide(demand(4, 500.0), healthy(), 0),
+              AdmissionDecision::kReject);
+    EXPECT_EQ(ac.rejected(), 1u);
+}
+
+TEST(TenantAdmission, RejectsWhenRetriesExhaustedOrQueueFull)
+{
+    TenantAdmissionController ac(cfg());
+    auto s = healthy();
+    s.free_channels = 0;
+    // attempt == max_retries: no more queueing.
+    EXPECT_EQ(ac.decide(demand(), s, 3), AdmissionDecision::kReject);
+    // Queue at capacity: turned away outright.
+    s.queued_arrivals = 4;
+    EXPECT_EQ(ac.decide(demand(), s, 0), AdmissionDecision::kReject);
+}
+
+TEST(TenantAdmission, BackoffDoublesAndIsCapped)
+{
+    TenantAdmissionController ac(cfg());
+    EXPECT_EQ(ac.backoffDelay(0), msec(100));
+    EXPECT_EQ(ac.backoffDelay(1), msec(200));
+    EXPECT_EQ(ac.backoffDelay(2), msec(400));
+    EXPECT_EQ(ac.backoffDelay(3), msec(800));
+    EXPECT_EQ(ac.backoffDelay(4), msec(800));   // capped
+    EXPECT_EQ(ac.backoffDelay(50), msec(800));  // no overflow
+}
+
+TEST(TenantAdmission, ForecastUsesDeclaredUntilObserved)
+{
+    TenantAdmissionController ac(cfg());
+    EXPECT_DOUBLE_EQ(ac.forecastMBps(0, 120.0), 120.0);
+    ac.observeDemand(0, 40.0);
+    EXPECT_DOUBLE_EQ(ac.forecastMBps(0, 70.0), 40.0);
+    // Other classes keep their own (empty) history.
+    EXPECT_DOUBLE_EQ(ac.forecastMBps(1, 70.0), 70.0);
+}
+
+TEST(TenantAdmission, ForecastLearnsByEwmaAndFloorsAtHalfDeclared)
+{
+    auto c = cfg();
+    c.forecast_ewma = 0.5;
+    TenantAdmissionController ac(c);
+    ac.observeDemand(0, 100.0);
+    ac.observeDemand(0, 0.0);
+    EXPECT_DOUBLE_EQ(ac.forecastMBps(0, 10.0), 50.0);  // pure EWMA
+    // A historically idle class must not wave a declared hog through:
+    // the forecast never sinks below half the declaration.
+    ac.observeDemand(0, 0.0);
+    ac.observeDemand(0, 0.0);
+    EXPECT_DOUBLE_EQ(ac.forecastMBps(0, 400.0), 200.0);
+}
+
+TEST(TenantAdmission, LearnedForecastGatesOvercommit)
+{
+    TenantAdmissionController ac(cfg());
+    // Declared 80 MB/s fits the 4-channel grant; accept.
+    EXPECT_EQ(ac.decide(demand(4, 80.0), healthy(), 0),
+              AdmissionDecision::kAccept);
+    // The class then proves to draw far more than declared.
+    for (int i = 0; i < 20; ++i)
+        ac.observeDemand(0, 900.0);
+    EXPECT_EQ(ac.decide(demand(4, 80.0), healthy(), 0),
+              AdmissionDecision::kReject);
+}
+
+TEST(TenantAdmission, DecisionsAreDeterministic)
+{
+    TenantAdmissionController a(cfg()), b(cfg());
+    const auto s = healthy();
+    for (int attempt = 0; attempt < 5; ++attempt) {
+        a.observeDemand(0, 25.0 * attempt);
+        b.observeDemand(0, 25.0 * attempt);
+        EXPECT_EQ(a.decide(demand(), s, attempt),
+                  b.decide(demand(), s, attempt));
+        EXPECT_EQ(a.backoffDelay(attempt), b.backoffDelay(attempt));
+    }
+    EXPECT_EQ(a.accepted(), b.accepted());
+    EXPECT_EQ(a.rejected(), b.rejected());
+}
+
+}  // namespace
+}  // namespace fleetio

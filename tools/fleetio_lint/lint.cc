@@ -27,7 +27,9 @@ const std::vector<RuleInfo> kRules = {
     {"trace-macro", "R3",
      "TraceRecorder emits outside src/obs go through FLEETIO_TRACE_EVENT"},
     {"layering", "R4",
-     "src/{sim,ssd} must not include src/{rl,policies,harness,obs}"},
+     "src/{sim,ssd} must not include src/{rl,policies,harness,obs}; "
+     "src/virt must not include the tenant control plane "
+     "(src/core/{tenant_admission,elastic_tenancy}.h)"},
     {"header-hygiene", "R5",
      "headers use #pragma once and never `using namespace`"},
     {"build-registration", "R6",
@@ -652,6 +654,19 @@ bannedLayer(const std::string &rel)
            rel.rfind("src/obs/", 0) == 0;
 }
 
+/**
+ * Tenant control-plane headers: admission and elastic-tenancy logic
+ * that sits ABOVE the data plane. src/virt is mechanism (carve,
+ * tiers, drain); policy decisions must stay in src/core so a static
+ * build never links churn machinery into the I/O path.
+ */
+bool
+controlPlaneHeader(const std::string &rel)
+{
+    return rel == "src/core/tenant_admission.h" ||
+           rel == "src/core/elastic_tenancy.h";
+}
+
 void
 checkLayering(Ctx &ctx)
 {
@@ -659,6 +674,22 @@ checkLayering(Ctx &ctx)
     std::map<std::string, const FileInfo *> by_rel;
     for (const FileInfo &f : ctx.files)
         by_rel[f.rel] = &f;
+
+    for (FileInfo &f : ctx.files) {
+        if (f.rel.rfind("src/virt/", 0) != 0)
+            continue;
+        for (const IncludeEdge &e : f.includes) {
+            if (!e.quoted || e.suppressed)
+                continue;
+            if (controlPlaneHeader(e.target)) {
+                ctx.report(f, e.line, "layering",
+                           f.rel + " includes " + e.target +
+                               ": src/virt is data-plane mechanism "
+                               "and must not include the tenant "
+                               "control plane");
+            }
+        }
+    }
 
     for (FileInfo &f : ctx.files) {
         if (!restrictedLayer(f.rel))
