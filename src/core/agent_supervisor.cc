@@ -125,6 +125,21 @@ AgentSupervisor::quarantine(Entry &e, TripReason reason)
     e.slo_streak = 0;
 }
 
+bool
+AgentSupervisor::imposeProbation(VssdId id)
+{
+    Entry *e = find(id);
+    if (e == nullptr)
+        return false;
+    e->last_reason = TripReason::kCrashRecovery;
+    e->agent->setTraining(false);
+    e->state = AgentState::kProbation;
+    e->probation_left = cfg_.probation_windows;
+    e->entropy_streak = 0;
+    e->slo_streak = 0;
+    return true;
+}
+
 void
 AgentSupervisor::maybeSnapshot(Entry &e)
 {

@@ -64,6 +64,7 @@ class AgentSupervisor
         kEntropyCollapse,
         kRewardDivergence,
         kSloStreak,
+        kCrashRecovery,  ///< probation imposed after power loss
     };
 
     AgentSupervisor(const SupervisorConfig &cfg, GsbManager &gsb);
@@ -102,6 +103,17 @@ class AgentSupervisor
 
     AgentState state(VssdId id) const;
     TripReason lastTripReason(VssdId id) const;
+
+    /**
+     * Crash recovery (DESIGN.md §12): place an agent on probation
+     * without a restore — the controller already reloaded it from its
+     * on-disk CheckpointStore, which may lag the pre-crash weights by
+     * up to one checkpoint interval, so it drives the deterministic
+     * fallback for a probation period before learning resumes. Leases
+     * are reconciled by the recovery manager, not here.
+     * @return false when the id is not under supervision.
+     */
+    bool imposeProbation(VssdId id);
 
     /** The deterministic quarantine action: release/keep nothing
      *  harvested, donate nothing, medium priority — the

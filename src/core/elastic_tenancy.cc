@@ -175,6 +175,11 @@ ElasticTenancyManager::requestRemoval(VssdId id)
 void
 ElasticTenancyManager::pollDrain(VssdId id)
 {
+    if (PowerLossInjector *p = vssds_.device().powerLoss()) {
+        p->notifyPhase(CrashPhase::kChurnDrain);
+        if (p->crashed())
+            return;  // resumeAfterCrash restarts the drain
+    }
     if (sched_.tenantQuiesced(id)) {
         teardown(id);
         return;
@@ -194,6 +199,15 @@ ElasticTenancyManager::teardown(VssdId id)
     // Donor side: every gSB this tenant donated is destroyed (pool) or
     // lazily reclaimed (in use), detaching harvesters' write paths.
     gsb_.retireDonor(id);
+    // Half-torn crash window (satellite 3): leases are gone but the
+    // tenant is still alive-and-retiring. Recovery resumes the drain,
+    // which re-runs this teardown to completion (the gSB calls above
+    // are no-ops the second time) — never a half-removed tenant.
+    if (PowerLossInjector *p = vssds_.device().powerLoss()) {
+        p->notifyPhase(CrashPhase::kChurnTeardown);
+        if (p->crashed())
+            return;
+    }
     // Agent retirement: out of the supervisor, controller, and state
     // extractor before the data path disappears.
     if (ctrl_ != nullptr)
@@ -211,12 +225,18 @@ ElasticTenancyManager::teardown(VssdId id)
                                     return k.id == id;
                                 }),
                  known_.end());
+    scrubbing_.push_back(id);
     pollScrub(id);
 }
 
 void
 ElasticTenancyManager::pollScrub(VssdId id)
 {
+    if (PowerLossInjector *p = vssds_.device().powerLoss()) {
+        p->notifyPhase(CrashPhase::kChurnScrub);
+        if (p->crashed())
+            return;  // resumeAfterCrash restarts the scrub
+    }
     Vssd *v = vssds_.get(id);
     assert(v != nullptr);
     if (v->ftl().blocksUsed() == 0 && !gsb_.hasGsbsForHome(id)) {
@@ -226,6 +246,9 @@ ElasticTenancyManager::pollScrub(VssdId id)
         // channels return to the free pool for future arrivals.
         assert(sched_.tenantQuiesced(id));
         ledger_.release(id);
+        scrubbing_.erase(std::remove(scrubbing_.begin(),
+                                     scrubbing_.end(), id),
+                         scrubbing_.end());
         --removals_in_flight_;
         ++stats_.removals_completed;
         return;
@@ -235,6 +258,28 @@ ElasticTenancyManager::pollScrub(VssdId id)
     // what pushes a retired tenant's quota all the way to zero.
     v->gc().requestReclaim();
     eq_.scheduleAfter(cfg_.scrub_poll, [this, id]() { pollScrub(id); });
+}
+
+void
+ElasticTenancyManager::resumeAfterCrash()
+{
+    // Scrub-phase removals: the tenant is already deallocated; resume
+    // polling until every block drains and the ledger releases the
+    // channels. Copy the list — a poll that completes synchronously
+    // erases its entry.
+    const std::vector<VssdId> scrubs = scrubbing_;
+    for (VssdId id : scrubs)
+        pollScrub(id);
+    // Drain-phase removals: still alive-and-retiring. The workload
+    // stays stopped (the harness re-arms only non-retiring tenants),
+    // so the drain converges and re-runs the teardown.
+    for (Vssd *v : vssds_.active()) {
+        if (v->retiring())
+            pollDrain(v->id());
+    }
+    // The pressure loop's tick died with the event queue.
+    running_ = false;
+    start();
 }
 
 void

@@ -150,6 +150,16 @@ class ElasticTenancyManager
     void start();
     void stop() { running_ = false; }
 
+    /**
+     * Re-arm after a power loss (DESIGN.md §12): the drain/scrub polls
+     * and the pressure loop died with the event queue, but the manager
+     * itself (controller-DRAM state) survives. Scrub-phase removals
+     * resume from the scrubbing ledger; drain-phase tenants are still
+     * alive-and-retiring and resume the drain; the pressure loop
+     * restarts. Idempotent with respect to completed removals.
+     */
+    void resumeAfterCrash();
+
     // --- Queries (tests / benches) ---------------------------------------
     std::size_t queuedArrivals() const { return queued_; }
     std::size_t removalsInFlight() const { return removals_in_flight_; }
@@ -188,6 +198,7 @@ class ElasticTenancyManager
     RetireFn retire_;
 
     std::vector<KnownTenant> known_;  ///< class registry, arrival order
+    std::vector<VssdId> scrubbing_;   ///< removals past teardown
     std::size_t queued_ = 0;          ///< arrivals awaiting retry
     std::size_t removals_in_flight_ = 0;
     bool running_ = false;

@@ -46,6 +46,21 @@ Testbed::Testbed(const TestbedOptions &opts)
         elastic_->setRetirer(
             [this](VssdId id) { workloads_[id]->stop(); });
     }
+    if (opts_.crash.enabled()) {
+        durability_ = std::make_unique<DurabilityModel>(opts_.geo);
+        injector_ =
+            std::make_unique<PowerLossInjector>(eq_, *durability_);
+        dev_.setDurability(durability_.get());
+        dev_.setPowerLoss(injector_.get());
+        hbt_.setDurability(durability_.get());
+        injector_->setOnCrash([this]() { onCrash(); });
+        injector_->arm(opts_.crash.plan);
+        // Acked-write ledger: a completion reaching the host is a
+        // durability promise — recovery must preserve the mapping.
+        sched_.setCompletionTap(
+            [this](const IoRequest &req) { recordAck(req); });
+        scheduleCheckpoint();
+    }
 }
 
 VssdId
@@ -156,7 +171,17 @@ Testbed::stopWorkloads()
 void
 Testbed::run(SimTime duration)
 {
-    eq_.runUntil(eq_.now() + duration);
+    const SimTime end = eq_.now() + duration;
+    for (;;) {
+        eq_.runUntil(end);
+        // A fired crash halts the queue mid-run; recover and finish
+        // the remaining simulated time. One-shot, so this loops at
+        // most twice.
+        if (injector_ != nullptr && injector_->crashed())
+            recoverFromCrash();
+        else
+            break;
+    }
 }
 
 void
@@ -260,6 +285,138 @@ Testbed::endMeasurement()
     // whole measured region and lifetime aggregates match run totals.
     if (opts_.obs.metrics && eq_.now() > last_sample_)
         metrics_.snapshotWindow(eq_.now());
+}
+
+RecoveryManager::Refs
+Testbed::recoveryRefs()
+{
+    RecoveryManager::Refs r;
+    r.eq = &eq_;
+    r.dev = &dev_;
+    r.durability = durability_.get();
+    r.injector = injector_.get();
+    r.hbt = &hbt_;
+    r.vssds = &vssds_;
+    r.gsb = &gsb_;
+    r.sched = &sched_;
+    r.ctrl = ctrl_;
+    r.metrics = metrics();
+    return r;
+}
+
+void
+Testbed::onCrash()
+{
+    // Chaos knobs: the power cut tears the most recent durable writes.
+    if (opts_.crash.corrupt_checkpoint)
+        durability_->corruptCurrentCheckpoint();
+    if (opts_.crash.torn_journal_tail)
+        durability_->truncateJournalTail();
+    shadow_ = RecoveryManager(recoveryRefs()).captureShadow();
+}
+
+void
+Testbed::recordAck(const IoRequest &req)
+{
+    if (req.type != IoType::kWrite)
+        return;
+    if (acked_.size() < vssds_.size())
+        acked_.resize(vssds_.size());
+    std::vector<bool> &bits = acked_[req.vssd];
+    if (bits.empty()) {
+        const Vssd *v = vssds_.get(req.vssd);
+        if (v == nullptr)
+            return;
+        bits.resize(v->ftl().logicalPages(), false);
+    }
+    for (std::uint32_t i = 0; i < req.npages; ++i) {
+        const Lpa lpa = req.lpa + i;
+        if (lpa < bits.size())
+            bits[lpa] = true;
+    }
+}
+
+std::uint64_t
+Testbed::auditAckedWrites() const
+{
+    // An acked write may legitimately vanish when its tenant was
+    // removed, or when it was trimmed/overwritten before the crash —
+    // the shadow map is the source of truth for what must survive.
+    std::uint64_t lost = 0;
+    for (const CrashShadow::TenantShadow &t : shadow_.tenants) {
+        if (t.id >= acked_.size() || !vssds_.alive(t.id))
+            continue;
+        const Vssd *v = vssds_.get(t.id);
+        const std::vector<bool> &bits = acked_[t.id];
+        for (Lpa lpa = 0; lpa < bits.size() && lpa < t.map.size();
+             ++lpa) {
+            if (bits[lpa] && t.map[lpa] != kNoPpa &&
+                v->ftl().lookup(lpa) == kNoPpa)
+                ++lost;
+        }
+    }
+    return lost;
+}
+
+void
+Testbed::scheduleCheckpoint()
+{
+    eq_.scheduleAfter(opts_.crash.checkpoint_interval, [this]() {
+        if (injector_->crashed())
+            return;
+        writeDeviceCheckpoint();
+        scheduleCheckpoint();
+    });
+}
+
+void
+Testbed::writeDeviceCheckpoint()
+{
+    std::vector<CheckpointEntry> entries;
+    for (auto *v : vssds_.active()) {
+        const Ftl &ftl = v->ftl();
+        for (Lpa lpa = 0; lpa < ftl.logicalPages(); ++lpa) {
+            const Ppa ppa = ftl.lookup(lpa);
+            if (ppa != kNoPpa)
+                entries.push_back(CheckpointEntry{v->id(), lpa, ppa});
+        }
+    }
+    durability_->writeCheckpoint(entries, eq_.now());
+}
+
+void
+Testbed::recoverFromCrash()
+{
+    RecoveryManager rm(recoveryRefs());
+    recovery_report_ = rm.recover(shadow_);
+    recovery_report_.acked_lost = auditAckedWrites();
+    if (metrics() != nullptr) {
+        metrics_.gauge("recovery.acked_lost")
+            .set(double(recovery_report_.acked_lost));
+    }
+
+    // Re-arm the volatile harness services the crash destroyed. Host
+    // activity resumes once the simulated rebuild completes (RTO).
+    scheduleCheckpoint();
+    eq_.scheduleAfter(recovery_report_.rto_ns, [this]() {
+        for (auto *v : vssds_.active()) {
+            if (v->retiring())
+                continue;
+            // stop() first: the generator still thinks it is running
+            // (its arrival events died with the queue), and start() is
+            // a no-op on a running workload.
+            workloads_[v->id()]->stop();
+            workloads_[v->id()]->start();
+        }
+        if (elastic_)
+            elastic_->resumeAfterCrash();
+    });
+    if (measuring_) {
+        last_sample_ = eq_.now();
+        dev_.resetBusyWindow();
+        sampleUtilization();
+    }
+    eq_.resume();
 }
 
 double

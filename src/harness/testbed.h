@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/elastic_tenancy.h"
+#include "src/core/recovery.h"
 #include "src/harvest/gsb_manager.h"
 #include "src/harvest/harvested_block_table.h"
 #include "src/obs/metrics.h"
@@ -100,6 +101,26 @@ struct TestbedOptions
         bool enabled() const { return !schedule.empty(); }
     };
     ChurnOptions churn{};
+
+    /** Crash/recovery (DESIGN.md §12). With no plan armed the
+     *  durability model and injector are never constructed, so
+     *  crash-free runs stay byte-identical to a testbed without the
+     *  subsystem. */
+    struct CrashOptions
+    {
+        CrashPlan plan{};
+
+        /** Mapping-table checkpoint cadence (bounds the RPO). */
+        SimTime checkpoint_interval = msec(50);
+
+        /** Chaos knobs, applied at the crash instant (a torn write cut
+         *  mid-flight by the power loss). */
+        bool corrupt_checkpoint = false;  ///< current slot fails checksum
+        bool torn_journal_tail = false;   ///< newest journal record torn
+
+        bool enabled() const { return plan.enabled(); }
+    };
+    CrashOptions crash{};
 };
 
 /**
@@ -154,6 +175,28 @@ class Testbed
      */
     ElasticTenancyManager *elastic() { return elastic_.get(); }
 
+    // --- Crash / recovery (DESIGN.md §12) -------------------------------
+
+    /** The durability model / power-loss injector, or nullptr when no
+     *  crash plan is configured. */
+    DurabilityModel *durability() { return durability_.get(); }
+    PowerLossInjector *powerLoss() { return injector_.get(); }
+
+    /** Attach the RL controller so recovery can reload agent
+     *  checkpoints and impose probation. Optional; nullptr runs recover
+     *  the device only. */
+    void setController(FleetIoController *ctrl) { ctrl_ = ctrl; }
+
+    /** Did a crash fire and get recovered during run()? */
+    bool recovered() const { return recovery_report_.recovered; }
+    const RecoveryReport &recoveryReport() const
+    {
+        return recovery_report_;
+    }
+
+    /** The pre-crash shadow (bench verdicts compare against it). */
+    const CrashShadow &crashShadow() const { return shadow_; }
+
     /** Invoked after an admitted arrival is provisioned (vSSD created,
      *  workload started); RL policies use it to attach a mid-run agent
      *  bootstrapped from the teacher. */
@@ -204,6 +247,13 @@ class Testbed
                            const std::vector<ChannelId> &channels);
     void sampleUtilization();
     void observeWindow(double util);
+    RecoveryManager::Refs recoveryRefs();
+    void onCrash();
+    void recordAck(const IoRequest &req);
+    void scheduleCheckpoint();
+    void writeDeviceCheckpoint();
+    void recoverFromCrash();
+    std::uint64_t auditAckedWrites() const;
 
     TestbedOptions opts_;
     EventQueue eq_;
@@ -216,6 +266,14 @@ class Testbed
     std::unique_ptr<obs::TraceRecorder> tracer_;
     obs::MetricsRegistry metrics_;
     std::unique_ptr<ElasticTenancyManager> elastic_;
+    std::unique_ptr<DurabilityModel> durability_;
+    std::unique_ptr<PowerLossInjector> injector_;
+    FleetIoController *ctrl_ = nullptr;
+    CrashShadow shadow_;
+    RecoveryReport recovery_report_;
+    /** Acked-write ledger: per tenant, which LPAs completed a host
+     *  write (zero-acked-loss audit). Indexed [vssd][lpa]. */
+    std::vector<std::vector<bool>> acked_;
     TenantHook on_tenant_added_;
     std::vector<std::unique_ptr<SyntheticWorkload>> workloads_;
     std::vector<WorkloadKind> kinds_;

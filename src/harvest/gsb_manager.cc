@@ -78,6 +78,8 @@ GsbManager::heldChannels(VssdId v) const
 Gsb *
 GsbManager::createGsb(Vssd &home, std::uint32_t n_chls)
 {
+    if (dev_.crashedNow())
+        return nullptr;  // no donations while power is off
     const auto &geo = dev_.geometry();
     const std::uint32_t blocks_per_ch = geo.superblock_blocks_per_channel;
 
@@ -173,18 +175,18 @@ GsbManager::reclaimLazily(Gsb *gsb)
     std::vector<std::tuple<ChannelId, ChipId, BlockId>> to_release;
     for (auto &stripe : gsb->superblock().stripes()) {
         for (const auto &[chip, blk] : stripe.blocks) {
-            FlashChip &chp = dev_.chip(stripe.channel, chip);
-            const FlashBlock &fb = chp.block(blk);
+            const FlashBlock &fb =
+                dev_.chip(stripe.channel, chip).block(blk);
             if (fb.state == BlockState::kOpen) {
                 if (fb.write_ptr == 0)
                     to_release.emplace_back(stripe.channel, chip, blk);
                 else
-                    chp.closeBlock(blk);
+                    dev_.durableClose(stripe.channel, chip, blk);
             }
         }
     }
     for (const auto &[ch, chip, blk] : to_release) {
-        dev_.chip(ch, chip).releaseBlock(blk);
+        dev_.durableRelease(ch, chip, blk);
         vssds_.hbt().clear(ch, chip, blk);
         block_to_gsb_.erase(blockKey(ch, chip, blk));
         gsb->detachBlock(ch, chip, blk);
@@ -276,6 +278,11 @@ GsbManager::revokeUnderPressure(VssdId home_id)
 void
 GsbManager::makeHarvestable(VssdId home_id, double gsb_bw_mbps)
 {
+    if (PowerLossInjector *p = dev_.powerLoss()) {
+        p->notifyPhase(CrashPhase::kMakeHarvestable);
+        if (p->crashed())
+            return;  // power died at this donation boundary
+    }
     Vssd *home = vssds_.get(home_id);
     if (home == nullptr)
         return;
@@ -432,6 +439,11 @@ GsbManager::hasGsbsForHome(VssdId home_id) const
 std::uint32_t
 GsbManager::harvest(VssdId harvester_id, double gsb_bw_mbps)
 {
+    if (PowerLossInjector *p = dev_.powerLoss()) {
+        p->notifyPhase(CrashPhase::kHarvest);
+        if (p->crashed())
+            return 0;  // power died at this harvest boundary
+    }
     Vssd *harvester = vssds_.get(harvester_id);
     if (harvester == nullptr)
         return 0;
@@ -494,14 +506,14 @@ GsbManager::destroyUnharvestedAfterPoolRemove(Gsb *gsb)
     std::uint64_t returned = 0;
     for (const auto &stripe : gsb->superblock().stripes()) {
         for (const auto &[chip, blk] : stripe.blocks) {
-            FlashChip &chp = dev_.chip(stripe.channel, chip);
-            FlashBlock &fb = chp.block(blk);
+            const FlashBlock &fb =
+                dev_.chip(stripe.channel, chip).block(blk);
             vssds_.hbt().clear(stripe.channel, chip, blk);
             block_to_gsb_.erase(blockKey(stripe.channel, chip, blk));
             if (fb.state == BlockState::kOpen && fb.write_ptr == 0) {
-                chp.releaseBlock(blk);
+                dev_.durableRelease(stripe.channel, chip, blk);
             } else {
-                chp.eraseBlock(blk);
+                dev_.durableErase(stripe.channel, chip, blk);
             }
             ++returned;
         }

@@ -112,6 +112,14 @@ class GsbManager
      *  The retirement scrub phase polls this toward zero. */
     bool hasGsbsForHome(VssdId home) const;
 
+    /** Is @p blk attached to a live gSB? Crash recovery's open-block
+     *  sweep skips these: reclaimLazily / onBlockErased own their
+     *  release so the gSB record is detached, not leaked. */
+    bool tracksBlock(ChannelId ch, ChipId chip, BlockId blk) const
+    {
+        return block_to_gsb_.count(blockKey(ch, chip, blk)) != 0;
+    }
+
     /** Telemetry: gSBs created / harvested / reclaimed so far. */
     std::uint64_t createdCount() const { return created_; }
     std::uint64_t harvestedCount() const { return harvested_; }

@@ -1,5 +1,9 @@
 #include "src/harvest/harvested_block_table.h"
 
+#include <algorithm>
+
+#include "src/ssd/durability.h"
+
 namespace fleetio {
 
 HarvestedBlockTable::HarvestedBlockTable(const SsdGeometry &geo)
@@ -17,6 +21,8 @@ HarvestedBlockTable::mark(ChannelId ch, ChipId chip, BlockId blk)
         bits_[i] = true;
         ++marked_;
     }
+    if (durability_ != nullptr)
+        durability_->setDonated(ch, chip, blk, true);
 }
 
 void
@@ -27,12 +33,21 @@ HarvestedBlockTable::clear(ChannelId ch, ChipId chip, BlockId blk)
         bits_[i] = false;
         --marked_;
     }
+    if (durability_ != nullptr)
+        durability_->setDonated(ch, chip, blk, false);
 }
 
 bool
 HarvestedBlockTable::isMarked(ChannelId ch, ChipId chip, BlockId blk) const
 {
     return bits_[index(ch, chip, blk)];
+}
+
+void
+HarvestedBlockTable::crashReset()
+{
+    std::fill(bits_.begin(), bits_.end(), false);
+    marked_ = 0;
 }
 
 }  // namespace fleetio

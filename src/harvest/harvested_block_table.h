@@ -15,6 +15,8 @@
 
 namespace fleetio {
 
+class DurabilityModel;
+
 /**
  * Device-wide 1-bit-per-block table. At the paper's full geometry
  * (1 TB / 4 MB blocks = 256 Ki blocks) this is 32 KB of bits — the paper
@@ -40,6 +42,18 @@ class HarvestedBlockTable
     /** Size of the table in bytes (storage-cost reporting). */
     std::size_t sizeBytes() const { return bits_.size() / 8 + 1; }
 
+    /**
+     * Attach the durability model (nullptr = off): every mark/clear
+     * then mirrors into the durable per-block donated flag, so the
+     * post-crash HBT rebuild equals the live table by construction
+     * (DESIGN.md §12).
+     */
+    void setDurability(DurabilityModel *d) { durability_ = d; }
+
+    /** Power loss: the table is volatile; recovery rebuilds it from
+     *  the durable donated flags. */
+    void crashReset();
+
   private:
     std::size_t index(ChannelId ch, ChipId chip, BlockId blk) const
     {
@@ -50,6 +64,7 @@ class HarvestedBlockTable
     std::uint32_t blocks_;
     std::vector<bool> bits_;
     std::uint64_t marked_ = 0;
+    DurabilityModel *durability_ = nullptr;
 };
 
 }  // namespace fleetio

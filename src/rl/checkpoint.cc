@@ -158,6 +158,29 @@ checkpointErrorName(CheckpointError err)
     return "unknown";
 }
 
+namespace {
+
+/** Armed crash point (see setCheckpointFailpoint); "" = off. */
+std::string g_failpoint;
+
+/** One-shot: true (and disarm) when @p name is the armed failpoint. */
+bool
+failpointHit(const char *name)
+{
+    if (g_failpoint != name)
+        return false;
+    g_failpoint.clear();
+    return true;
+}
+
+}  // namespace
+
+void
+setCheckpointFailpoint(const char *name)
+{
+    g_failpoint = name != nullptr ? name : "";
+}
+
 bool
 writeCheckpoint(const std::string &path, const AgentCheckpoint &ckpt)
 {
@@ -182,17 +205,30 @@ writeCheckpoint(const std::string &path, const AgentCheckpoint &ckpt)
         body.size());
 
     const std::string tmp = path + ".tmp";
+    if (failpointHit("tmp_open"))
+        return false;
     {
         std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
         if (!out)
             return false;
         out.write(kMagic, sizeof kMagic);
+        if (failpointHit("tmp_partial")) {
+            // Power died mid-write: a torn .tmp stays on disk, the
+            // target file is never touched.
+            out.write(body.data(), std::streamsize(body.size() / 2));
+            return false;
+        }
         out.write(body.data(), std::streamsize(body.size()));
         std::string tail;
         putU64(tail, sum);
         out.write(tail.data(), std::streamsize(tail.size()));
         if (!out)
             return false;
+    }
+    if (failpointHit("pre_rename")) {
+        // Power died between the tmp write and the rename: a complete
+        // .tmp is orphaned, the target file is unchanged.
+        return false;
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
@@ -277,9 +313,21 @@ CheckpointStore::save(const AgentCheckpoint &ckpt)
 {
     // Demote the current snapshot to last-good before overwriting.
     // rename() failure (e.g. no current file yet) is fine.
-    std::rename(base_.c_str(), prevPath().c_str());
-    if (!writeCheckpoint(base_, ckpt))
+    const bool demoted =
+        std::rename(base_.c_str(), prevPath().c_str()) == 0;
+    if (failpointHit("post_demote")) {
+        // Power died between the demote and the tmp write: the store
+        // is left with only .prev — exactly what load()'s fallback
+        // exists for.
         return false;
+    }
+    if (!writeCheckpoint(base_, ckpt)) {
+        // An I/O failure must not leave the store without a current
+        // snapshot when it had one: promote the demoted file back.
+        if (demoted)
+            std::rename(prevPath().c_str(), base_.c_str());
+        return false;
+    }
     ++saves_;
     return true;
 }

@@ -71,6 +71,16 @@ bool writeCheckpoint(const std::string &path,
                      const AgentCheckpoint &ckpt);
 
 /**
+ * Test-only crash-point injection into the write path (one-shot): arm
+ * with "tmp_open", "tmp_partial", or "pre_rename" (writeCheckpoint) or
+ * "post_demote" (CheckpointStore::save), and the next write fails at
+ * exactly that point — leaving behind whatever a power loss there
+ * would (a torn .tmp, an un-renamed .tmp, a demoted-only store). The
+ * failpoint disarms once consumed; nullptr/"" disarms explicitly.
+ */
+void setCheckpointFailpoint(const char *name);
+
+/**
  * Deserialize @p path into @p out. @p out is written only when the
  * whole file validates (all-or-nothing); on any error it is left
  * untouched.

@@ -15,7 +15,7 @@ EventQueue::scheduleAt(SimTime when, Callback cb)
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (heap_.empty() || halted_)
         return false;
     // priority_queue::top() is const; move out via const_cast on the
     // callback only — the heap entry is popped immediately after.
@@ -25,6 +25,8 @@ EventQueue::step()
     ++dispatched_;
     if (ev.cb)
         ev.cb();
+    if (after_dispatch_)
+        after_dispatch_();
     return true;
 }
 
@@ -32,11 +34,13 @@ std::uint64_t
 EventQueue::runUntil(SimTime until)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
+    while (!heap_.empty() && !halted_ && heap_.top().when <= until) {
         step();
         ++n;
     }
-    if (now_ < until)
+    // A halted queue must keep now() at the crash instant; recovery
+    // resumes and re-enters runUntil for the remaining horizon.
+    if (!halted_ && now_ < until)
         now_ = until;
     return n;
 }

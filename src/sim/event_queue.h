@@ -87,6 +87,33 @@ class EventQueue
     /** Total events dispatched over the queue's lifetime. */
     std::uint64_t dispatched() const { return dispatched_; }
 
+    /**
+     * Freeze dispatch (power-loss). step()/runUntil()/runAll() return
+     * without dispatching — and, crucially, runUntil() does NOT advance
+     * the clock to its horizon, so recovery code still sees the crash
+     * instant as now(). The callback that called halt() finishes
+     * normally; everything still queued stays queued until
+     * clearPending() discards it or resume() lets it run.
+     */
+    void halt() { halted_ = true; }
+
+    /** Un-freeze dispatch after recovery re-seeds the queue. */
+    void resume() { halted_ = false; }
+
+    bool halted() const { return halted_; }
+
+    /** Discard every pending event (volatile state lost at power-off). */
+    void clearPending() { heap_ = {}; }
+
+    /**
+     * Hook invoked after every dispatched event (crash-by-event-count
+     * triggers). Null (the default) costs one branch per dispatch.
+     */
+    void setAfterDispatch(InlineFunction<void()> hook)
+    {
+        after_dispatch_ = std::move(hook);
+    }
+
   private:
     struct Event
     {
@@ -110,6 +137,8 @@ class EventQueue
     SimTime now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t dispatched_ = 0;
+    bool halted_ = false;
+    InlineFunction<void()> after_dispatch_;
 };
 
 }  // namespace fleetio

@@ -49,6 +49,13 @@ class Channel
     SimTime busyTime() const { return busy_time_; }
     void resetBusyTime() { busy_time_ = 0; }
 
+    /** Power loss: in-flight transfers and queue slots vanish. */
+    void crashReset()
+    {
+        bus_until_ = 0;
+        outstanding_ = 0;
+    }
+
   private:
     SimTime bus_until_ = 0;
     std::uint32_t outstanding_ = 0;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/ssd/durability.h"
+
 namespace fleetio {
 
 FlashChip::FlashChip(const SsdGeometry &geo)
@@ -24,6 +26,8 @@ FlashChip::allocateBlock(VssdId owner)
             blocks_[b].write_ptr = 0;
             blocks_[b].valid_count = 0;
             --free_blocks_;
+            if (durability_ != nullptr)
+                durability_->recordBlockOpen(ch_, chip_, b, owner);
             return b;
         }
     }
@@ -53,6 +57,18 @@ FlashChip::invalidatePage(BlockId b, PageId p)
         blk.valid[p] = false;
         assert(blk.valid_count > 0);
         --blk.valid_count;
+    }
+}
+
+void
+FlashChip::markValid(BlockId b, PageId p)
+{
+    FlashBlock &blk = blocks_[b];
+    assert(p < blk.write_ptr &&
+           "only physically programmed pages can be revalidated");
+    if (!blk.valid[p]) {
+        blk.valid[p] = true;
+        ++blk.valid_count;
     }
 }
 
@@ -96,7 +112,8 @@ void
 FlashChip::retireBlock(BlockId b)
 {
     FlashBlock &blk = blocks_[b];
-    assert(blk.state != BlockState::kRetired && "double retirement");
+    if (blk.state == BlockState::kRetired)
+        return;  // idempotent: a replayed retirement must not re-count
     if (blk.state == BlockState::kFree) {
         assert(free_blocks_ > 0);
         --free_blocks_;
@@ -124,6 +141,18 @@ FlashChip::beginSlowdown(SimTime until, double factor)
 {
     slow_until_ = std::max(slow_until_, until);
     slow_factor_ = factor > 1.0 ? factor : 1.0;
+}
+
+void
+FlashChip::crashResetValidBits()
+{
+    for (auto &blk : blocks_) {
+        std::fill(blk.valid.begin(), blk.valid.end(), false);
+        blk.valid_count = 0;
+    }
+    busy_until_ = 0;
+    slow_until_ = 0;
+    slow_factor_ = 1.0;
 }
 
 }  // namespace fleetio

@@ -13,6 +13,8 @@
 
 namespace fleetio {
 
+class DurabilityModel;
+
 /** Lifecycle of a flash block. */
 enum class BlockState : std::uint8_t {
     kFree = 0,   ///< erased, no owner
@@ -79,6 +81,10 @@ class FlashChip
     /** Mark a previously-programmed page invalid (overwrite / trim). */
     void invalidatePage(BlockId b, PageId p);
 
+    /** Recovery: re-set the valid bit of a physically-programmed page
+     *  after crashResetValidBits() discarded the bitmaps. */
+    void markValid(BlockId b, PageId p);
+
     /** Erase @p b: clears data, returns it to the free pool. */
     void eraseBlock(BlockId b);
 
@@ -102,8 +108,9 @@ class FlashChip
      * failure: it enters kRetired, joins the bad-block table, and is
      * excluded from freeBlocks() accounting forever. Valid bits are
      * cleared — callers must have migrated or invalidated live data
-     * first.
-     * @pre the block is not already retired.
+     * first. Idempotent: retiring an already-retired block is a no-op,
+     * so a post-crash replay of a retirement whose durable record was
+     * lost cannot double-retire (DESIGN.md §12).
      */
     void retireBlock(BlockId b);
 
@@ -138,6 +145,25 @@ class FlashChip
     /** Sum of erase counts across blocks (wear telemetry). */
     std::uint64_t totalErases() const { return total_erases_; }
 
+    /**
+     * Attach the durability model (nullptr = off): every block open
+     * then writes its durable {owner} summary automatically. The chip
+     * needs its own (channel, chip) coordinates to address the record.
+     */
+    void setDurability(DurabilityModel *d, ChannelId ch, ChipId chip)
+    {
+        durability_ = d;
+        ch_ = ch;
+        chip_ = chip;
+    }
+
+    /**
+     * Power loss: valid bitmaps are volatile FTL metadata and vanish;
+     * block states, write pointers, and wear counters are the physical
+     * medium and survive. Recovery re-sets bits from the rebuilt map.
+     */
+    void crashResetValidBits();
+
   private:
     const SsdGeometry &geo_;
     std::vector<FlashBlock> blocks_;
@@ -147,6 +173,9 @@ class FlashChip
     SimTime slow_until_ = 0;
     double slow_factor_ = 1.0;
     std::uint64_t total_erases_ = 0;
+    DurabilityModel *durability_ = nullptr;
+    ChannelId ch_ = 0;
+    ChipId chip_ = 0;
 };
 
 }  // namespace fleetio

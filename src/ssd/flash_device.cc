@@ -157,6 +157,74 @@ FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
     return complete;
 }
 
+void
+FlashDevice::setDurability(DurabilityModel *d)
+{
+    durability_ = d;
+    for (ChannelId ch = 0; ch < geo_.num_channels; ++ch)
+        for (ChipId c = 0; c < geo_.chips_per_channel; ++c)
+            chip(ch, c).setDurability(d, ch, c);
+}
+
+void
+FlashDevice::durableErase(ChannelId ch, ChipId cp, BlockId blk)
+{
+    if (crashedNow())
+        return;
+    chip(ch, cp).eraseBlock(blk);
+    if (durability_ != nullptr)
+        durability_->clearBlock(ch, cp, blk);
+}
+
+void
+FlashDevice::durableRetire(ChannelId ch, ChipId cp, BlockId blk)
+{
+    if (crashedNow())
+        return;
+    chip(ch, cp).retireBlock(blk);
+    // A crash scheduled at kGcRetire lands exactly here: the physical
+    // retirement above survives (chip state is the medium) while the
+    // durable record below is dropped by the freeze. Recovery treats
+    // chip state as authoritative and retireBlock is idempotent, so a
+    // replay never double-retires.
+    if (power_loss_ != nullptr)
+        power_loss_->notifyPhase(CrashPhase::kGcRetire);
+    if (durability_ != nullptr && !crashedNow())
+        durability_->markRetired(ch, cp, blk);
+}
+
+void
+FlashDevice::durableRelease(ChannelId ch, ChipId cp, BlockId blk)
+{
+    if (crashedNow())
+        return;
+    chip(ch, cp).releaseBlock(blk);
+    if (durability_ != nullptr)
+        durability_->clearBlock(ch, cp, blk);
+}
+
+void
+FlashDevice::durableClose(ChannelId ch, ChipId cp, BlockId blk)
+{
+    if (crashedNow())
+        return;
+    // Closing only freezes the write pointer — no durable metadata
+    // changes; the wrapper exists so every block-lifecycle mutation
+    // flows through one audited (R7) surface.
+    chip(ch, cp).closeBlock(blk);
+}
+
+void
+FlashDevice::crashReset()
+{
+    for (auto &chan : channels_)
+        chan.crashReset();
+    for (auto &chp : chips_)
+        chp.crashResetValidBits();
+    for (auto &e : rmap_)
+        e = RmapEntry{};
+}
+
 bool
 FlashDevice::allocateBlock(ChannelId ch, VssdId owner, ChipId &chip_out,
                            BlockId &blk_out)
@@ -250,6 +318,13 @@ FlashDevice::invalidatePage(Ppa ppa)
 {
     chip(geo_.channelOf(ppa), geo_.chipOf(ppa))
         .invalidatePage(geo_.blockOf(ppa), geo_.pageOf(ppa));
+}
+
+void
+FlashDevice::revalidatePage(Ppa ppa)
+{
+    chip(geo_.channelOf(ppa), geo_.chipOf(ppa))
+        .markValid(geo_.blockOf(ppa), geo_.pageOf(ppa));
 }
 
 double

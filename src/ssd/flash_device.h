@@ -19,6 +19,7 @@
 #include "src/ssd/fault_injector.h"
 #include "src/ssd/flash_chip.h"
 #include "src/ssd/geometry.h"
+#include "src/ssd/power_loss.h"
 
 namespace fleetio {
 
@@ -135,6 +136,52 @@ class FlashDevice
     void setTracer(obs::TraceRecorder *t) { tracer_ = t; }
     obs::TraceRecorder *tracer() const { return tracer_; }
 
+    // --- Durability / power loss ---------------------------------------
+
+    /**
+     * Install the durability model (nullptr = no crash modelling, the
+     * default — byte-identical to builds without the subsystem). The
+     * device is the durability hub exactly as it is the tracer hub:
+     * FTL, GC, and the gSB manager reach it through durability(), and
+     * every chip gets a backpointer so block opens write their durable
+     * summary automatically.
+     */
+    void setDurability(DurabilityModel *d);
+    DurabilityModel *durability() const { return durability_; }
+
+    /** Install the power-loss injector (nullptr = never crashes). */
+    void setPowerLoss(PowerLossInjector *p) { power_loss_ = p; }
+    PowerLossInjector *powerLoss() const { return power_loss_; }
+
+    /** Power is currently off: refuse physical mutations. */
+    bool crashedNow() const
+    {
+        return power_loss_ != nullptr && power_loss_->crashed();
+    }
+
+    /**
+     * Durable block-lifecycle mutations (lint rule R7): the only
+     * sanctioned way for src/ssd and src/harvest code outside the
+     * device/chip/durability core to erase, retire, release, or close a
+     * block. Each wrapper performs the chip-state mutation and records
+     * the matching durable-metadata update in one step, and refuses to
+     * run once power is off — the in-flight callback that observed the
+     * crash cannot mutate the (now frozen) medium.
+     */
+    void durableErase(ChannelId ch, ChipId chip, BlockId blk);
+    void durableRetire(ChannelId ch, ChipId chip, BlockId blk);
+    void durableRelease(ChannelId ch, ChipId chip, BlockId blk);
+    void durableClose(ChannelId ch, ChipId chip, BlockId blk);
+
+    /**
+     * Discard every volatile device structure after a crash: the
+     * reverse map, all valid bitmaps/counts (rebuilt from the recovered
+     * L2P map), and per-channel bus/outstanding timing state. Chip
+     * block states, write pointers, erase counts, and bad-block tables
+     * survive — they are the physical medium.
+     */
+    void crashReset();
+
     /** Blocks retired (bad-block tables) across the whole device. */
     std::uint64_t totalRetiredBlocks() const;
 
@@ -171,6 +218,9 @@ class FlashDevice
 
     /** Mark the page at @p ppa invalid (overwrite / trim). */
     void invalidatePage(Ppa ppa);
+
+    /** Recovery: re-set the valid bit of a recovered mapping's page. */
+    void revalidatePage(Ppa ppa);
 
     /** Reverse-map access. */
     RmapEntry &rmap(Ppa ppa) { return rmap_[ppa]; }
@@ -217,6 +267,8 @@ class FlashDevice
     EventQueue &eq_;
     FaultInjector *injector_ = nullptr;
     obs::TraceRecorder *tracer_ = nullptr;
+    DurabilityModel *durability_ = nullptr;
+    PowerLossInjector *power_loss_ = nullptr;
     SlotFreedFn on_slot_freed_;
     std::vector<Channel> channels_;
     std::vector<FlashChip> chips_;  // [channel * chips_per_channel + chip]

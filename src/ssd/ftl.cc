@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/ssd/durability.h"
+
 namespace fleetio {
 
 Ftl::Ftl(FlashDevice &dev, const Config &cfg) : dev_(&dev), cfg_(cfg)
@@ -80,7 +82,7 @@ Ftl::programWithFaultCheck(OpenPoint &pt, Ppa &out)
         // re-allocates on another write point and remaps the LPA
         // there, so no mapping is ever lost.
         chp.invalidatePage(pt.block, pg);
-        chp.closeBlock(pt.block);
+        dev_->durableClose(pt.channel, pt.chip, pt.block);
         pt.valid = false;
         ++program_fail_repairs_;
         return false;
@@ -132,6 +134,12 @@ Ftl::installMapping(Lpa lpa, Ppa ppa)
     }
     map_[lpa] = ppa;
     dev_->setRmap(ppa, cfg_.vssd, lpa);
+    // OOB metadata is written eagerly with the mapping ("eager
+    // metadata, lazy timing"): once a write is acknowledged its page is
+    // already durable, so acked writes survive any crash by
+    // construction (DESIGN.md §12).
+    if (DurabilityModel *d = dev_->durability())
+        d->recordWrite(cfg_.vssd, lpa, ppa);
 }
 
 bool
@@ -203,6 +211,10 @@ Ftl::trim(Lpa lpa)
     map_[lpa] = kNoPpa;
     assert(live_pages_ > 0);
     --live_pages_;
+    // The journal tombstone outranks the page's OOB record, so a
+    // recovery scan cannot resurrect the trimmed mapping.
+    if (DurabilityModel *d = dev_->durability())
+        d->journalTrim(cfg_.vssd, lpa);
 }
 
 void
@@ -215,6 +227,11 @@ Ftl::trimAll()
         }
     }
     live_pages_ = 0;
+    // One wipe tombstone covers every page: recovery suppresses all of
+    // this tenant's older OOB records in a single record instead of a
+    // per-page journal flood.
+    if (DurabilityModel *d = dev_->durability())
+        d->journalTenantWiped(cfg_.vssd);
 }
 
 bool
@@ -282,6 +299,8 @@ Ftl::remap(Lpa lpa, Ppa new_ppa)
     // and reverse map.
     map_[lpa] = new_ppa;
     dev_->setRmap(new_ppa, cfg_.vssd, lpa);
+    if (DurabilityModel *d = dev_->durability())
+        d->recordWrite(cfg_.vssd, lpa, new_ppa);
 }
 
 void
@@ -297,14 +316,13 @@ Ftl::releaseOpenPoints()
     auto drop = [&](OpenPoint &pt) {
         if (!pt.valid)
             return;
-        FlashChip &chp = *pt.chp;
-        const FlashBlock &blk = chp.block(pt.block);
+        const FlashBlock &blk = pt.chp->block(pt.block);
         if (blk.state == BlockState::kOpen) {
             if (blk.write_ptr == 0) {
-                chp.releaseBlock(pt.block);
+                dev_->durableRelease(pt.channel, pt.chip, pt.block);
                 ++released;
             } else {
-                chp.closeBlock(pt.block);
+                dev_->durableClose(pt.channel, pt.chip, pt.block);
             }
         }
         pt.valid = false;
@@ -357,7 +375,7 @@ Ftl::setChannels(const std::vector<ChannelId> &channels)
     }
     for (const OpenPoint &pt : open_points_) {
         if (pt.valid)
-            pt.chp->closeBlock(pt.block);
+            dev_->durableClose(pt.channel, pt.chip, pt.block);
     }
     open_points_ = std::move(kept);
     rr_cursor_ = 0;
@@ -384,6 +402,32 @@ bool
 Ftl::needsGc() const
 {
     return freeQuotaRatio() < dev_->geometry().gc_free_threshold;
+}
+
+void
+Ftl::beginRecovery()
+{
+    map_.assign(logical_pages_, kNoPpa);
+    live_pages_ = 0;
+    blocks_used_ = 0;
+    for (OpenPoint &pt : open_points_)
+        pt.valid = false;
+    relo_point_.valid = false;
+    rr_cursor_ = 0;
+    stripe_counter_ = 0;
+}
+
+void
+Ftl::restoreMapping(Lpa lpa, Ppa ppa)
+{
+    if (lpa >= logical_pages_)
+        return;  // mapping from before a quota shrink: stale, drop it
+    assert(map_[lpa] == kNoPpa &&
+           "the recovery merge emits at most one winner per LPA");
+    map_[lpa] = ppa;
+    ++live_pages_;
+    dev_->setRmap(ppa, cfg_.vssd, lpa);
+    dev_->revalidatePage(ppa);
 }
 
 }  // namespace fleetio

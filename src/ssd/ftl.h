@@ -159,6 +159,27 @@ class Ftl
     /** True when GC should run (quota headroom below the GC threshold). */
     bool needsGc() const;
 
+    // --- Crash recovery (DESIGN.md §12) ----------------------------------
+
+    /**
+     * Discard every volatile structure ahead of a post-crash rebuild:
+     * the map empties, live/used counters zero, and all write points
+     * (including the relocation point) are invalidated. Physical block
+     * state is untouched — recovery closes or releases surviving open
+     * blocks separately through the device's durable wrappers.
+     */
+    void beginRecovery();
+
+    /**
+     * Re-install one recovered mapping (checkpoint + journal + OOB scan
+     * merge result): repoints the map, reverse map, and the physical
+     * valid bit. Mappings beyond the current logical size are dropped.
+     */
+    void restoreMapping(Lpa lpa, Ppa ppa);
+
+    /** Overwrite the quota ledger with a post-recovery recount. */
+    void setBlocksUsed(std::uint64_t n) { blocks_used_ = n; }
+
   private:
     struct OpenPoint
     {

@@ -110,6 +110,11 @@ GcEngine::pumpMigrations()
 void
 GcEngine::migrateOnePage(PageId pg)
 {
+    if (PowerLossInjector *p = dev_->powerLoss()) {
+        p->notifyPhase(CrashPhase::kGcMigration);
+        if (p->crashed())
+            return;  // power died at this migration boundary
+    }
     const auto &geo = dev_->geometry();
     const Ppa old_ppa =
         geo.makePpa(current_.ch, current_.chip, current_.blk, pg);
@@ -186,6 +191,11 @@ GcEngine::finishBlock()
     dev_->issueErase(v.ch, v.chip, [this, v, gen]() {
         if (gen != job_gen_)
             return;
+        if (PowerLossInjector *p = dev_->powerLoss()) {
+            p->notifyPhase(CrashPhase::kGcErase);
+            if (p->crashed())
+                return;  // power died before the erase took effect
+        }
         FlashChip &chp = dev_->chip(v.ch, v.chip);
         FaultInjector *fi = dev_->faultInjector();
         if (fi != nullptr && fi->eraseFails(chp.block(v.blk))) {
@@ -193,12 +203,16 @@ GcEngine::finishBlock()
             // instead of the free pool. All valid pages were already
             // migrated, so no mapping is lost; the quota ledger still
             // gets the block back (it left the vSSD's service).
-            chp.retireBlock(v.blk);
+            // durableRetire hosts the audited crash window between the
+            // physical retirement and its durable record (satellite 1).
+            dev_->durableRetire(v.ch, v.chip, v.blk);
             ++blocks_retired_;
         } else {
-            chp.eraseBlock(v.blk);
+            dev_->durableErase(v.ch, v.chip, v.blk);
             ++blocks_reclaimed_;
         }
+        if (dev_->crashedNow())
+            return;  // the retire window crashed: stop touching state
         hbt_->clear(v.ch, v.chip, v.blk);
         home_->onBlocksReclaimed(1);
         if (hooks_.on_erased)

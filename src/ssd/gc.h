@@ -69,6 +69,22 @@ class GcEngine
     /** Lifetime pages migrated (GC write amplification numerator). */
     std::uint64_t pagesMigrated() const { return pages_migrated_; }
 
+    /**
+     * Power loss: the in-flight job and its chained events die with the
+     * event queue. Bumping the generation makes any callback that
+     * slipped through a no-op; lifetime counters survive (telemetry,
+     * not correctness state).
+     */
+    void crashReset()
+    {
+        active_ = false;
+        reclaim_requests_ = false;
+        in_flight_ = 0;
+        retry_count_ = 0;
+        next_page_ = 0;
+        ++job_gen_;
+    }
+
   private:
     struct Victim
     {

@@ -23,7 +23,7 @@ Superblock::addStripe(ChannelId ch, std::uint32_t blocks_per_channel,
             // the pool shrinkable): roll the partial stripe back so
             // the caller sees a clean all-or-nothing failure.
             for (const auto &[c, b] : s.blocks)
-                dev_->chip(ch, c).releaseBlock(b);
+                dev_->durableRelease(ch, c, b);
             return false;
         }
         s.blocks.emplace_back(chip, blk);

@@ -178,8 +178,24 @@ IoScheduler::onPageDone(IoRequestPtr req)
             ->add(bytes);
         tm.requests->add(1);
     }
+    if (completion_tap_)
+        completion_tap_(*req);
     if (req->on_complete)
         req->on_complete(*req, now);
+}
+
+void
+IoScheduler::crashReset()
+{
+    for (ChannelQueues &cq : queues_)
+        for (auto &dq : cq)
+            dq.clear();
+    blocked_.clear();
+    std::fill(inflight_reqs_.begin(), inflight_reqs_.end(), 0);
+    std::fill(token_pump_scheduled_.begin(),
+              token_pump_scheduled_.end(), false);
+    retry_scheduled_ = false;
+    queued_ops_ = 0;
 }
 
 void

@@ -125,6 +125,25 @@ class IoScheduler
         tenant_metrics_.clear();
     }
 
+    /**
+     * Observer invoked once per completed (acknowledged) request,
+     * alongside the request's own on_complete. The crash harness uses
+     * it as the acked-write ledger: anything acknowledged through this
+     * tap must be recoverable after a power loss.
+     */
+    using CompletionTap = InlineFunction<void(const IoRequest &), 32>;
+    void setCompletionTap(CompletionTap tap)
+    {
+        completion_tap_ = std::move(tap);
+    }
+
+    /**
+     * Power loss: every queued page op, in-flight request, blocked
+     * write, and pump/retry timer dies with the event queue. Lifetime
+     * telemetry counters survive.
+     */
+    void crashReset();
+
   private:
     struct PageOp
     {
@@ -188,6 +207,7 @@ class IoScheduler
 
     obs::MetricsRegistry *metrics_ = nullptr;
     std::vector<TenantMetrics> tenant_metrics_;  // [vssd]
+    CompletionTap completion_tap_;
 };
 
 }  // namespace fleetio

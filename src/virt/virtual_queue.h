@@ -54,6 +54,13 @@ class VirtualQueue
         win_wait_sum_ = 0;
     }
 
+    /** Power loss: queued ops vanished with the scheduler's queues. */
+    void crashReset()
+    {
+        depth_ = 0;
+        rollWindow();
+    }
+
   private:
     std::uint32_t depth_ = 0;
     std::uint64_t win_enqueued_ = 0;

@@ -1,0 +1,13 @@
+/** Fixture: R7 journal-api — a direct block-state mutation inside
+ *  src/ssd that bypasses FlashDevice's durable* journal wrappers. */
+
+struct FixtureChip;
+
+void
+journalBad(FixtureChip &chip)
+{
+    chip.eraseBlock(3);  // direct erase: durable OOB never cleared
+    // fleetio-lint: allow(journal-api): fixture proves reasoned
+    // allows silence R7
+    chip.retireBlock(4);
+}

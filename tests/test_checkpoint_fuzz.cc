@@ -1,0 +1,192 @@
+/** @file Crash-point fuzz over the CheckpointStore write path
+ *  (DESIGN.md §12): whichever instant power dies during save(), a
+ *  fresh store over the same files must load a complete, valid
+ *  snapshot — the newest on a clean save, the last-good one after an
+ *  interrupted rotation. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/rl/checkpoint.h"
+
+namespace fleetio::rl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointFuzz : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        // Per-test file names: ctest runs discovered tests in
+        // parallel, each in its own process over the shared temp dir.
+        const char *test = ::testing::UnitTest::GetInstance()
+                               ->current_test_info()
+                               ->name();
+        base_ = (fs::temp_directory_path() /
+                 ("fleetio_ckpt_fuzz_" + std::string(test) + ".bin"))
+                    .string();
+        cleanup();
+    }
+
+    void TearDown() override
+    {
+        setCheckpointFailpoint(nullptr);
+        cleanup();
+    }
+
+    void cleanup()
+    {
+        std::error_code ec;
+        fs::remove(base_, ec);
+        fs::remove(base_ + ".prev", ec);
+        fs::remove(base_ + ".tmp", ec);
+    }
+
+    static AgentCheckpoint sample(std::uint64_t tag)
+    {
+        AgentCheckpoint c;
+        c.params.resize(16);
+        c.adam_m.resize(16);
+        c.adam_v.resize(16);
+        for (std::size_t i = 0; i < 16; ++i) {
+            c.params[i] = 0.5 * double(i) + double(tag);
+            c.adam_m[i] = 1e-3 * double(i);
+            c.adam_v[i] = 1e-6 * double(i);
+        }
+        c.adam_t = tag;
+        c.decisions = tag * 10;
+        c.alpha = 0.125;
+        return c;
+    }
+
+    std::string base_;
+};
+
+const char *const kWriteFailpoints[] = {"tmp_open", "tmp_partial",
+                                        "pre_rename", "post_demote"};
+
+TEST_F(CheckpointFuzz, EveryCrashPointPreservesLastGoodSnapshot)
+{
+    for (const char *fp : kWriteFailpoints) {
+        SCOPED_TRACE(fp);
+        cleanup();
+        {
+            CheckpointStore store(base_);
+            ASSERT_TRUE(store.save(sample(1)));
+            ASSERT_TRUE(store.save(sample(2)));  // populate .prev too
+
+            setCheckpointFailpoint(fp);
+            EXPECT_FALSE(store.save(sample(3)));  // power dies mid-save
+        }
+
+        // Post-"reboot": a fresh store over the same files must load a
+        // complete snapshot — 3 never finished, so last-good is 2.
+        CheckpointStore rebooted(base_);
+        AgentCheckpoint out;
+        ASSERT_EQ(rebooted.load(out), CheckpointError::kOk);
+        EXPECT_TRUE(out.wellFormed());
+        EXPECT_EQ(out.adam_t, 2u);
+    }
+}
+
+TEST_F(CheckpointFuzz, CrashOnVeryFirstSaveLeavesNoLoadableState)
+{
+    for (const char *fp : kWriteFailpoints) {
+        SCOPED_TRACE(fp);
+        cleanup();
+        CheckpointStore store(base_);
+        setCheckpointFailpoint(fp);
+        EXPECT_FALSE(store.save(sample(1)));
+
+        AgentCheckpoint out;
+        // Nothing durable was ever completed; the load must fail
+        // cleanly (never return a torn file as success).
+        EXPECT_NE(store.load(out), CheckpointError::kOk);
+    }
+}
+
+TEST_F(CheckpointFuzz, IoFailureUndemotesCurrentSnapshot)
+{
+    CheckpointStore store(base_);
+    ASSERT_TRUE(store.save(sample(1)));
+
+    // tmp_open models a plain I/O error (disk full), not a crash: the
+    // process survives, so the rotation is rolled back and the current
+    // file — not just .prev — still holds snapshot 1.
+    setCheckpointFailpoint("tmp_open");
+    EXPECT_FALSE(store.save(sample(2)));
+    AgentCheckpoint direct;
+    EXPECT_EQ(readCheckpoint(base_, direct), CheckpointError::kOk);
+    EXPECT_EQ(direct.adam_t, 1u);
+
+    CheckpointStore rebooted(base_);
+    AgentCheckpoint out;
+    ASSERT_EQ(rebooted.load(out), CheckpointError::kOk);
+    EXPECT_EQ(out.adam_t, 1u);
+    EXPECT_FALSE(rebooted.lastFallback());
+}
+
+TEST_F(CheckpointFuzz, PostDemoteCrashLoadsViaPrevFallback)
+{
+    CheckpointStore store(base_);
+    ASSERT_TRUE(store.save(sample(1)));
+
+    setCheckpointFailpoint("post_demote");
+    EXPECT_FALSE(store.save(sample(2)));
+
+    CheckpointStore rebooted(base_);
+    AgentCheckpoint out;
+    ASSERT_EQ(rebooted.load(out), CheckpointError::kOk);
+    EXPECT_EQ(out.adam_t, 1u);
+    EXPECT_TRUE(rebooted.lastFallback());
+}
+
+TEST_F(CheckpointFuzz, TornTmpNeverValidatesAndNextSaveOverwritesIt)
+{
+    CheckpointStore store(base_);
+    setCheckpointFailpoint("tmp_partial");
+    EXPECT_FALSE(store.save(sample(1)));
+
+    // The torn .tmp exists but must never validate.
+    AgentCheckpoint torn;
+    EXPECT_NE(readCheckpoint(base_ + ".tmp", torn),
+              CheckpointError::kOk);
+
+    // A later save truncates the torn tmp and completes normally.
+    ASSERT_TRUE(store.save(sample(2)));
+    AgentCheckpoint out;
+    ASSERT_EQ(store.load(out), CheckpointError::kOk);
+    EXPECT_EQ(out.adam_t, 2u);
+}
+
+TEST_F(CheckpointFuzz, RepeatedCrashesNeverLoseTheLastCompletedSave)
+{
+    CheckpointStore store(base_);
+    std::uint64_t last_good = 0;
+    std::uint64_t tag = 1;
+    // Alternate completed saves with every crash point, twice around.
+    for (int round = 0; round < 2; ++round) {
+        for (const char *fp : kWriteFailpoints) {
+            ASSERT_TRUE(store.save(sample(tag)));
+            last_good = tag;
+            ++tag;
+            setCheckpointFailpoint(fp);
+            EXPECT_FALSE(store.save(sample(tag)));
+            ++tag;
+
+            AgentCheckpoint out;
+            CheckpointStore rebooted(base_);
+            ASSERT_EQ(rebooted.load(out), CheckpointError::kOk)
+                << "after crash point " << fp;
+            EXPECT_EQ(out.adam_t, last_good);
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fleetio::rl

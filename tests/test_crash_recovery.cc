@@ -1,0 +1,353 @@
+/** @file Tests for crash-consistent device recovery (DESIGN.md §12):
+ *  power-loss injection, the rebuilt-map ≡ shadow verdicts, the GC
+ *  retire crash window (double-retirement regression), and crashes
+ *  landing inside the churn drain/teardown/scrub state machine. */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/recovery.h"
+#include "src/harness/testbed.h"
+#include "src/ssd/durability.h"
+#include "src/ssd/power_loss.h"
+#include "src/virt/channel_allocator.h"
+
+namespace fleetio {
+namespace {
+
+TestbedOptions
+baseOptions()
+{
+    TestbedOptions opts;
+    opts.geo = testGeometry();
+    opts.window = msec(50);
+    return opts;
+}
+
+/** Two hardware-isolated tenants on an even channel split. */
+void
+addPair(Testbed &tb)
+{
+    const auto &geo = tb.device().geometry();
+    const auto split = ChannelAllocator::equalSplit(geo, 2);
+    const auto quota = geo.totalBlocks() / 2;
+    tb.addTenant(WorkloadKind::kVdiWeb, split[0], quota, msec(2));
+    tb.addTenant(WorkloadKind::kYcsbB, split[1], quota, msec(10));
+}
+
+ChurnEvent
+removeEvent(SimTime at, VssdId id)
+{
+    ChurnEvent ev;
+    ev.at = at;
+    ev.kind = ChurnEvent::Kind::kRemove;
+    ev.remove_id = id;
+    return ev;
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 1: the GC retire crash window. A crash between the physical
+// retire and its durable journal append must not double-retire the
+// block when the retirement is replayed after recovery.
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecovery, RetireCrashWindowNeverDoubleRetires)
+{
+    const SsdGeometry geo = testGeometry();
+    EventQueue eq;
+    FlashDevice dev(geo, eq);
+    DurabilityModel durability(geo);
+    PowerLossInjector injector(eq, durability);
+    dev.setDurability(&durability);
+    dev.setPowerLoss(&injector);
+
+    ChipId chip = 0;
+    BlockId blk = 0;
+    ASSERT_TRUE(dev.allocateBlock(0, /*owner=*/0, chip, blk));
+    FlashChip &chp = dev.chip(0, chip);
+    const std::uint32_t free_before = chp.freeBlocks();
+
+    // A mapping lives in the block; after the (replayed) retirement it
+    // must never be resurrected by the OOB scan.
+    durability.recordWrite(0, /*lpa=*/7, geo.makePpa(0, chip, blk, 0));
+
+    CrashPlan plan;
+    plan.trigger = CrashPlan::Trigger::kPhase;
+    plan.phase = CrashPhase::kGcRetire;
+    injector.arm(plan);
+
+    // The crash lands inside the window: physical retire done, durable
+    // markRetired lost.
+    dev.durableRetire(0, chip, blk);
+    ASSERT_TRUE(injector.crashed());
+    EXPECT_EQ(chp.block(blk).state, BlockState::kRetired);
+    EXPECT_EQ(chp.retiredBlocks(), 1u);
+
+    // Reboot; the recovery audit replays the retirement for every
+    // bad-block-table entry whose durable record is missing.
+    injector.powerRestored();
+    durability.unfreeze();
+    dev.durableRetire(0, chip, blk);
+
+    EXPECT_EQ(chp.retiredBlocks(), 1u) << "double retirement";
+    EXPECT_EQ(chp.block(blk).state, BlockState::kRetired);
+    EXPECT_EQ(chp.freeBlocks(), free_before)
+        << "free-pool accounting corrupted by the replay";
+
+    RecoveryStats stats;
+    const auto ms = durability.recover(stats);
+    for (const RecoveredMapping &m : ms)
+        EXPECT_NE(m.ppa, geo.makePpa(0, chip, blk, 0))
+            << "mapping resurrected into a retired block";
+}
+
+TEST(CrashRecovery, RetireWithoutCrashIsDurableImmediately)
+{
+    const SsdGeometry geo = testGeometry();
+    EventQueue eq;
+    FlashDevice dev(geo, eq);
+    DurabilityModel durability(geo);
+    dev.setDurability(&durability);
+
+    ChipId chip = 0;
+    BlockId blk = 0;
+    ASSERT_TRUE(dev.allocateBlock(0, 0, chip, blk));
+    durability.recordWrite(0, 7, geo.makePpa(0, chip, blk, 0));
+    dev.durableRetire(0, chip, blk);
+
+    RecoveryStats stats;
+    EXPECT_TRUE(durability.recover(stats).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: mid-run power loss with live workloads.
+// ---------------------------------------------------------------------------
+
+struct CrashRunResult
+{
+    bool recovered = false;
+    RecoveryReport report{};
+    std::uint64_t dispatched = 0;
+    std::vector<std::uint64_t> tenant_bytes;
+};
+
+CrashRunResult
+runWithCrash(const TestbedOptions &opts, SimTime duration)
+{
+    Testbed tb(opts);
+    addPair(tb);
+    tb.warmupFill();
+    tb.startWorkloads();
+    tb.run(duration);
+    tb.stopWorkloads();
+
+    CrashRunResult r;
+    r.recovered = tb.recovered();
+    r.report = tb.recoveryReport();
+    r.dispatched = tb.eq().dispatched();
+    for (auto *v : tb.vssds().active())
+        r.tenant_bytes.push_back(v->bandwidth().totalBytes());
+    return r;
+}
+
+TEST(CrashRecovery, SimTimeCrashRebuildsExactStateWithZeroAckedLoss)
+{
+    TestbedOptions opts = baseOptions();
+    opts.crash.plan.trigger = CrashPlan::Trigger::kSimTime;
+    opts.crash.plan.at = msec(300);
+    opts.crash.checkpoint_interval = msec(40);
+
+    const CrashRunResult r = runWithCrash(opts, msec(600));
+    ASSERT_TRUE(r.recovered);
+    EXPECT_TRUE(r.report.map_matches_shadow);
+    EXPECT_TRUE(r.report.hbt_matches_shadow);
+    EXPECT_EQ(r.report.acked_lost, 0u);
+    EXPECT_GT(r.report.restored_mappings, 0u);
+    EXPECT_EQ(r.report.crash_time, msec(300));
+    // The checkpoint cadence bounds the RPO; the RTO model charges at
+    // least the scan.
+    EXPECT_LE(r.report.rpo_ns, opts.crash.checkpoint_interval);
+    EXPECT_GT(r.report.rto_ns, 0u);
+    EXPECT_GT(r.report.scanned_pages, 0u);
+    // Tenants kept doing I/O after recovery.
+    for (std::uint64_t bytes : r.tenant_bytes)
+        EXPECT_GT(bytes, 0u);
+}
+
+TEST(CrashRecovery, CrashedRunsAreBitIdenticalAcrossReruns)
+{
+    TestbedOptions opts = baseOptions();
+    opts.crash.plan.trigger = CrashPlan::Trigger::kSimTime;
+    opts.crash.plan.at = msec(250);
+
+    const CrashRunResult a = runWithCrash(opts, msec(500));
+    const CrashRunResult b = runWithCrash(opts, msec(500));
+    ASSERT_TRUE(a.recovered);
+    ASSERT_TRUE(b.recovered);
+    EXPECT_EQ(a.dispatched, b.dispatched);
+    EXPECT_EQ(a.tenant_bytes, b.tenant_bytes);
+    EXPECT_EQ(a.report.restored_mappings, b.report.restored_mappings);
+    EXPECT_EQ(a.report.scanned_pages, b.report.scanned_pages);
+    EXPECT_EQ(a.report.rto_ns, b.report.rto_ns);
+    EXPECT_EQ(a.report.rpo_ns, b.report.rpo_ns);
+}
+
+TEST(CrashRecovery, EventCountCrashRecovers)
+{
+    TestbedOptions opts = baseOptions();
+    opts.crash.plan.trigger = CrashPlan::Trigger::kEventCount;
+    opts.crash.plan.after_events = 5000;
+
+    const CrashRunResult r = runWithCrash(opts, msec(600));
+    ASSERT_TRUE(r.recovered);
+    EXPECT_TRUE(r.report.map_matches_shadow);
+    EXPECT_TRUE(r.report.hbt_matches_shadow);
+    EXPECT_EQ(r.report.acked_lost, 0u);
+}
+
+TEST(CrashRecovery, GcMigrationCrashRecovers)
+{
+    TestbedOptions opts = baseOptions();
+    opts.warmup_fill = 0.92;  // keep GC busy so the phase fires
+    opts.intensity = 6.0;
+    opts.crash.plan.trigger = CrashPlan::Trigger::kPhase;
+    opts.crash.plan.phase = CrashPhase::kGcMigration;
+    opts.crash.plan.phase_skip = 25;
+
+    const CrashRunResult r = runWithCrash(opts, msec(600));
+    ASSERT_TRUE(r.recovered) << "GC never reached the crash phase";
+    EXPECT_TRUE(r.report.map_matches_shadow);
+    EXPECT_TRUE(r.report.hbt_matches_shadow);
+    EXPECT_EQ(r.report.acked_lost, 0u);
+}
+
+TEST(CrashRecovery, TornCheckpointFallsBackAndStillRebuildsExactly)
+{
+    TestbedOptions opts = baseOptions();
+    opts.crash.plan.trigger = CrashPlan::Trigger::kSimTime;
+    opts.crash.plan.at = msec(300);
+    opts.crash.checkpoint_interval = msec(40);
+    opts.crash.corrupt_checkpoint = true;
+
+    const CrashRunResult r = runWithCrash(opts, msec(600));
+    ASSERT_TRUE(r.recovered);
+    EXPECT_TRUE(r.report.checkpoint_fallback);
+    EXPECT_TRUE(r.report.map_matches_shadow);
+    EXPECT_EQ(r.report.acked_lost, 0u);
+}
+
+TEST(CrashRecovery, TornJournalTailIsDetectedNotReplayed)
+{
+    TestbedOptions opts = baseOptions();
+    opts.crash.plan.trigger = CrashPlan::Trigger::kSimTime;
+    opts.crash.plan.at = msec(300);
+    opts.crash.torn_journal_tail = true;
+
+    const CrashRunResult r = runWithCrash(opts, msec(600));
+    ASSERT_TRUE(r.recovered);
+    // The shadow verdict must hold even when a journal record is torn:
+    // losing an unacknowledged trim keeps the older mapping alive,
+    // which the eager-metadata write path never acknowledges as
+    // trimmed... the torn record is simply skipped and counted. When
+    // no trim happened to be journaled last, torn_records is 0.
+    EXPECT_EQ(r.report.acked_lost, 0u);
+    EXPECT_TRUE(r.report.hbt_matches_shadow);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite 3: crashes inside the removal state machine must recover
+// to fully-present or fully-removed — never half-torn.
+// ---------------------------------------------------------------------------
+
+struct ChurnCrashResult
+{
+    bool recovered = false;
+    RecoveryReport report{};
+    ChurnStats churn{};
+    bool tenant_alive = false;
+    bool tenant_retiring = false;
+    std::uint32_t free_channels = 0;
+};
+
+ChurnCrashResult
+runChurnCrash(CrashPhase phase, std::uint32_t phase_skip = 0)
+{
+    TestbedOptions opts = baseOptions();
+    opts.churn.schedule.push_back(removeEvent(msec(50), VssdId(1)));
+    opts.crash.plan.trigger = CrashPlan::Trigger::kPhase;
+    opts.crash.plan.phase = phase;
+    opts.crash.plan.phase_skip = phase_skip;
+
+    Testbed tb(opts);
+    addPair(tb);
+    tb.warmupFill();
+    tb.startWorkloads();
+    tb.run(msec(100));
+    tb.startChurn();
+    tb.run(msec(900));
+    tb.stopWorkloads();
+
+    ChurnCrashResult r;
+    r.recovered = tb.recovered();
+    r.report = tb.recoveryReport();
+    r.churn = tb.elastic()->stats();
+    r.tenant_alive = tb.vssds().alive(VssdId(1));
+    const Vssd *v = tb.vssds().get(VssdId(1));
+    r.tenant_retiring = v != nullptr && r.tenant_alive && v->retiring();
+    r.free_channels = tb.elastic()->ledger().freeChannels();
+    return r;
+}
+
+void
+expectFullyRemoved(const ChurnCrashResult &r)
+{
+    ASSERT_TRUE(r.recovered);
+    EXPECT_EQ(r.churn.removals_completed, 1u);
+    EXPECT_FALSE(r.tenant_alive);
+    EXPECT_FALSE(r.tenant_retiring);
+    // The departed tenant's channels are back in the ledger — the
+    // removal ran to completion, not half-torn.
+    EXPECT_GT(r.free_channels, 0u);
+}
+
+TEST(CrashRecovery, CrashDuringDrainCompletesRemovalAfterRecovery)
+{
+    const ChurnCrashResult r = runChurnCrash(CrashPhase::kChurnDrain);
+    expectFullyRemoved(r);
+    EXPECT_EQ(r.report.acked_lost, 0u);
+}
+
+TEST(CrashRecovery, CrashDuringTeardownCompletesRemovalAfterRecovery)
+{
+    // The nastiest window: gSB leases already reconciled, controller
+    // removal and FTL trim not yet run. Recovery resumes the drain,
+    // which re-runs teardown to completion (the gSB calls are
+    // idempotent no-ops the second time).
+    const ChurnCrashResult r = runChurnCrash(CrashPhase::kChurnTeardown);
+    expectFullyRemoved(r);
+}
+
+TEST(CrashRecovery, CrashDuringScrubCompletesRemovalAfterRecovery)
+{
+    const ChurnCrashResult r = runChurnCrash(CrashPhase::kChurnScrub);
+    expectFullyRemoved(r);
+}
+
+// ---------------------------------------------------------------------------
+// Guard: no crash plan => injector and durability model are never
+// constructed (byte-identity with pre-subsystem builds is asserted by
+// the bench determinism harness; here we pin the structural guarantee).
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecovery, NoPlanConstructsNoCrashMachinery)
+{
+    TestbedOptions opts = baseOptions();
+    Testbed tb(opts);
+    EXPECT_EQ(tb.durability(), nullptr);
+    EXPECT_EQ(tb.powerLoss(), nullptr);
+    EXPECT_FALSE(tb.recovered());
+}
+
+}  // namespace
+}  // namespace fleetio

@@ -1,0 +1,248 @@
+/** @file Tests for the device durability model (DESIGN.md §12). */
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "src/ssd/durability.h"
+#include "src/ssd/geometry.h"
+
+namespace fleetio {
+namespace {
+
+SsdGeometry
+tinyGeo()
+{
+    SsdGeometry geo = testGeometry();
+    return geo;
+}
+
+/** recover() output as a (vssd, lpa) -> ppa map for easy asserts. */
+Ppa
+find(const std::vector<RecoveredMapping> &ms, VssdId v, Lpa lpa)
+{
+    for (const RecoveredMapping &m : ms) {
+        if (m.vssd == v && m.lpa == lpa)
+            return m.ppa;
+    }
+    return kNoPpa;
+}
+
+TEST(Durability, OobScanRebuildsMappings)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordBlockOpen(0, 0, 0, /*owner=*/0);
+    d.recordWrite(0, 10, geo.makePpa(0, 0, 0, 0));
+    d.recordWrite(0, 11, geo.makePpa(0, 0, 0, 1));
+    d.recordWrite(1, 10, geo.makePpa(0, 0, 0, 2));
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    ASSERT_EQ(ms.size(), 3u);
+    EXPECT_EQ(find(ms, 0, 10), geo.makePpa(0, 0, 0, 0));
+    EXPECT_EQ(find(ms, 0, 11), geo.makePpa(0, 0, 0, 1));
+    EXPECT_EQ(find(ms, 1, 10), geo.makePpa(0, 0, 0, 2));
+    EXPECT_GT(stats.scanned_pages, 0u);
+    EXPECT_FALSE(stats.checkpoint_fallback);
+    EXPECT_FALSE(stats.checkpoint_lost);
+}
+
+TEST(Durability, NewestSeqWinsOnOverwrite)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 5, geo.makePpa(0, 0, 0, 0));
+    d.recordWrite(0, 5, geo.makePpa(0, 0, 0, 1));  // overwrite
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    ASSERT_EQ(ms.size(), 1u);
+    EXPECT_EQ(ms[0].ppa, geo.makePpa(0, 0, 0, 1));
+}
+
+TEST(Durability, TrimTombstoneSuppressesOlderVersions)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 5, geo.makePpa(0, 0, 0, 0));
+    d.journalTrim(0, 5);
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(find(ms, 0, 5), kNoPpa);
+    EXPECT_EQ(stats.replayed_records, 1u);
+}
+
+TEST(Durability, WriteAfterTrimSurvives)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 5, geo.makePpa(0, 0, 0, 0));
+    d.journalTrim(0, 5);
+    d.recordWrite(0, 5, geo.makePpa(0, 0, 0, 1));
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(find(ms, 0, 5), geo.makePpa(0, 0, 0, 1));
+}
+
+TEST(Durability, TenantWipeDropsOnlyThatTenant)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 1, geo.makePpa(0, 0, 0, 0));
+    d.recordWrite(1, 1, geo.makePpa(0, 0, 0, 1));
+    d.journalTenantWiped(0);
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(find(ms, 0, 1), kNoPpa);
+    EXPECT_EQ(find(ms, 1, 1), geo.makePpa(0, 0, 0, 1));
+}
+
+TEST(Durability, CheckpointCoversPreWatermarkState)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 1, geo.makePpa(0, 0, 0, 0));
+    std::vector<CheckpointEntry> entries{{0, 1, geo.makePpa(0, 0, 0, 0)}};
+    d.writeCheckpoint(entries, /*now=*/1000);
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(find(ms, 0, 1), geo.makePpa(0, 0, 0, 0));
+    EXPECT_EQ(stats.last_checkpoint_time, 1000);
+}
+
+TEST(Durability, CorruptCurrentSlotFallsBackToPrevious)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 1, geo.makePpa(0, 0, 0, 0));
+    std::vector<CheckpointEntry> first{{0, 1, geo.makePpa(0, 0, 0, 0)}};
+    d.writeCheckpoint(first, 1000);
+    d.recordWrite(0, 2, geo.makePpa(0, 0, 0, 1));
+    std::vector<CheckpointEntry> second{{0, 1, geo.makePpa(0, 0, 0, 0)},
+                                        {0, 2, geo.makePpa(0, 0, 0, 1)}};
+    d.writeCheckpoint(second, 2000);
+    d.corruptCurrentCheckpoint();
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_TRUE(stats.checkpoint_fallback);
+    EXPECT_FALSE(stats.checkpoint_lost);
+    EXPECT_EQ(stats.last_checkpoint_time, 1000);
+    // The .prev slot's content loads; the OOB scan still recovers the
+    // post-fallback write (its seq is past the older watermark).
+    EXPECT_EQ(find(ms, 0, 1), geo.makePpa(0, 0, 0, 0));
+    EXPECT_EQ(find(ms, 0, 2), geo.makePpa(0, 0, 0, 1));
+}
+
+TEST(Durability, BothSlotsCorruptRecoversFromScanAlone)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 7, geo.makePpa(0, 0, 0, 0));
+    std::vector<CheckpointEntry> entries{{0, 7, geo.makePpa(0, 0, 0, 0)}};
+    d.writeCheckpoint(entries, 1000);
+    d.corruptCurrentCheckpoint();
+    d.writeCheckpoint(entries, 2000);
+    d.corruptCurrentCheckpoint();
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_TRUE(stats.checkpoint_lost);
+    EXPECT_EQ(find(ms, 0, 7), geo.makePpa(0, 0, 0, 0));
+}
+
+TEST(Durability, TornJournalTailStopsReplayAtBadChecksum)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 1, geo.makePpa(0, 0, 0, 0));
+    d.journalTrim(0, 1);
+    d.truncateJournalTail();  // the trim record is torn
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(stats.torn_records, 1u);
+    EXPECT_EQ(stats.replayed_records, 0u);
+    // The torn tombstone is NOT applied: the write survives (losing an
+    // unacknowledged trim is crash-consistent; applying half a record
+    // is not).
+    EXPECT_EQ(find(ms, 0, 1), geo.makePpa(0, 0, 0, 0));
+}
+
+TEST(Durability, FreezeDropsAllSubsequentWrites)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 1, geo.makePpa(0, 0, 0, 0));
+    d.freeze();
+    d.recordWrite(0, 2, geo.makePpa(0, 0, 0, 1));
+    d.journalTrim(0, 1);
+    std::vector<CheckpointEntry> entries{{0, 2, geo.makePpa(0, 0, 0, 1)}};
+    d.writeCheckpoint(entries, 1000);
+
+    RecoveryStats stats;
+    const auto ms = d.recover(stats);
+    EXPECT_EQ(find(ms, 0, 1), geo.makePpa(0, 0, 0, 0));
+    EXPECT_EQ(find(ms, 0, 2), kNoPpa);
+    EXPECT_EQ(d.checkpointsWritten(), 0u);
+}
+
+TEST(Durability, ClearBlockErasesOobAndSummary)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordBlockOpen(0, 0, 0, /*owner=*/3);
+    d.setDonated(0, 0, 0, true);
+    d.recordWrite(3, 9, geo.makePpa(0, 0, 0, 0));
+    EXPECT_EQ(d.summary(0, 0, 0).owner, 3u);
+    EXPECT_TRUE(d.summary(0, 0, 0).donated);
+
+    d.clearBlock(0, 0, 0);
+    EXPECT_EQ(d.summary(0, 0, 0).owner, kNoVssd);
+    EXPECT_FALSE(d.summary(0, 0, 0).donated);
+    RecoveryStats stats;
+    EXPECT_EQ(find(d.recover(stats), 3, 9), kNoPpa);
+}
+
+TEST(Durability, RetiredBlockNeverResurrectsMappings)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(0, 4, geo.makePpa(0, 0, 1, 0));
+    d.markRetired(0, 0, 1);
+
+    RecoveryStats stats;
+    EXPECT_EQ(find(d.recover(stats), 0, 4), kNoPpa);
+}
+
+TEST(Durability, RecoveryOutputSortedAndDeterministic)
+{
+    const SsdGeometry geo = tinyGeo();
+    DurabilityModel d(geo);
+    d.recordWrite(1, 3, geo.makePpa(0, 1, 0, 0));
+    d.recordWrite(0, 9, geo.makePpa(0, 0, 0, 0));
+    d.recordWrite(0, 2, geo.makePpa(0, 0, 0, 1));
+
+    RecoveryStats s1, s2;
+    const auto a = d.recover(s1);
+    const auto b = d.recover(s2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].vssd, b[i].vssd);
+        EXPECT_EQ(a[i].lpa, b[i].lpa);
+        EXPECT_EQ(a[i].ppa, b[i].ppa);
+        if (i > 0) {
+            EXPECT_TRUE(a[i - 1].vssd < a[i].vssd ||
+                        (a[i - 1].vssd == a[i].vssd &&
+                         a[i - 1].lpa < a[i].lpa));
+        }
+    }
+}
+
+}  // namespace
+}  // namespace fleetio

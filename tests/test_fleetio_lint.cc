@@ -1,7 +1,7 @@
 /**
  * @file
  * fleetio_lint against the seeded fixture tree under
- * tests/lint_fixtures/: every rule R1-R6 is proven live by a fixture
+ * tests/lint_fixtures/: every rule R1-R7 is proven live by a fixture
  * that trips it, a clean file stays clean, and the suppression
  * machinery both silences reasoned allows and flags reason-less ones.
  */
@@ -47,13 +47,13 @@ inFile(const Result &r, const std::string &rule,
 TEST(LintRegistry, ExposesAllRulesWithIssueTags)
 {
     const auto &rs = rules();
-    ASSERT_GE(rs.size(), 6u);
+    ASSERT_GE(rs.size(), 7u);
     std::vector<std::string> ids;
     for (const RuleInfo &r : rs)
         ids.push_back(r.id);
     for (const char *want :
          {"nondeterminism", "hotpath", "trace-macro", "layering",
-          "header-hygiene", "build-registration"}) {
+          "header-hygiene", "build-registration", "journal-api"}) {
         EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end())
             << "missing rule " << want;
     }
@@ -63,11 +63,12 @@ TEST(LintFixtures, FullRunFlagsEveryRule)
 {
     const Result r = runLint(fixturesRoot());
     EXPECT_FALSE(r.clean());
-    EXPECT_EQ(r.files_scanned, 11u);
-    EXPECT_EQ(r.suppressions_used, 1u);
+    EXPECT_EQ(r.files_scanned, 12u);
+    EXPECT_EQ(r.suppressions_used, 2u);
     for (const char *rule :
          {"nondeterminism", "hotpath", "trace-macro", "layering",
-          "header-hygiene", "build-registration", "suppression"}) {
+          "header-hygiene", "build-registration", "journal-api",
+          "suppression"}) {
         const bool found = std::any_of(
             r.violations.begin(), r.violations.end(),
             [&](const Violation &v) { return v.rule == rule; });
@@ -142,6 +143,18 @@ TEST(LintFixtures, R6BuildRegistrationFlagsOrphanOnly)
                     .empty());
     EXPECT_TRUE(
         inFile(r, "build-registration", "nondet_bad.cc").empty());
+}
+
+TEST(LintFixtures, R7JournalApiFlagsDirectMutationAndHonorsAllow)
+{
+    const Result r = runRule("journal-api");
+    // The direct eraseBlock fires; the reasoned allow silences the
+    // retireBlock two lines below it.
+    const auto hits = inFile(r, "journal-api", "journal_bad.cc");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 9);
+    EXPECT_NE(hits[0].message.find("durable"), std::string::npos);
+    EXPECT_GE(r.suppressions_used, 1u);
 }
 
 TEST(LintFixtures, ReasonedSuppressionSilencesButReasonlessFires)

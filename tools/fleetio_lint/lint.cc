@@ -34,6 +34,9 @@ const std::vector<RuleInfo> kRules = {
      "headers use #pragma once and never `using namespace`"},
     {"build-registration", "R6",
      "every .cc/.cpp is listed in a CMakeLists.txt"},
+    {"journal-api", "R7",
+     "block-state mutations in src/{ssd,harvest} go through "
+     "FlashDevice's durable* journal API"},
     {"suppression", "-",
      "fleetio-lint: allow(...) requires a non-empty reason"},
 };
@@ -821,6 +824,51 @@ checkBuildRegistration(Ctx &ctx, FileInfo &f)
                      "builds, so it can rot silently");
 }
 
+// ----------------------------------------------------------------- R7
+
+/**
+ * The journal-API surface itself: the chip/device primitives and the
+ * durability model may touch raw block state; everything else in the
+ * SSD and harvesting layers must route through FlashDevice::durable*
+ * so crash recovery always sees a consistent OOB/summary record.
+ */
+bool
+journalApiSurface(const std::string &rel)
+{
+    return rel == "src/ssd/flash_chip.h" ||
+           rel == "src/ssd/flash_chip.cc" ||
+           rel == "src/ssd/flash_device.h" ||
+           rel == "src/ssd/flash_device.cc" ||
+           rel == "src/ssd/durability.h" ||
+           rel == "src/ssd/durability.cc";
+}
+
+void
+checkJournalApi(Ctx &ctx, FileInfo &f)
+{
+    if (!(f.under("src/ssd/") || f.under("src/harvest/")))
+        return;
+    if (journalApiSurface(f.rel))
+        return;
+    static const char *kMutators[] = {"eraseBlock", "retireBlock",
+                                      "releaseBlock", "closeBlock"};
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &line = f.code[li];
+        if (line.empty())
+            continue;
+        for (const char *m : kMutators) {
+            if (callLike(line, m)) {
+                ctx.report(f, int(li) + 1, "journal-api",
+                           std::string("direct ") + m +
+                               " bypasses the durable-metadata "
+                               "journal: call FlashDevice::durable* "
+                               "so OOB/summary state survives a "
+                               "crash");
+            }
+        }
+    }
+}
+
 // ------------------------------------------------- bad suppressions
 
 void
@@ -978,6 +1026,8 @@ runLint(const std::string &root, const Options &opts)
             checkHeaderHygiene(ctx, f);
         if (ctx.ruleEnabled("build-registration"))
             checkBuildRegistration(ctx, f);
+        if (ctx.ruleEnabled("journal-api"))
+            checkJournalApi(ctx, f);
     }
     if (ctx.ruleEnabled("layering"))
         checkLayering(ctx);

@@ -18,6 +18,10 @@
  *                             headers (--fix converts include guards)
  *  - build-registration  (R6) every .cc/.cpp is listed in a
  *                             CMakeLists.txt; every test is in ctest
+ *  - journal-api         (R7) block-state mutations in
+ *                             src/{ssd,harvest} (erase/retire/release/
+ *                             close) go through FlashDevice's durable*
+ *                             journal API, never straight at the chip
  *  - suppression              an allow() without a reason is itself a
  *                             violation
  */
@@ -61,11 +65,11 @@ struct Result
 struct RuleInfo
 {
     const char *id;
-    const char *issue_tag;  ///< "R1".."R6"
+    const char *issue_tag;  ///< "R1".."R7"
     const char *summary;
 };
 
-/** The rule registry, in R1..R6 order. */
+/** The rule registry, in R1..R7 order. */
 const std::vector<RuleInfo> &rules();
 
 /** Lint every source file under @p root (src/, tests/, bench/,
