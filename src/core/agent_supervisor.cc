@@ -245,6 +245,13 @@ AgentSupervisor::lastTripReason(VssdId id) const
     return e != nullptr ? e->last_reason : TripReason::kNone;
 }
 
+void
+AgentSupervisor::noteDrift(VssdId id)
+{
+    if (find(id) != nullptr)
+        ++stats_.drift_flags;
+}
+
 SupervisionStats
 AgentSupervisor::stats() const
 {

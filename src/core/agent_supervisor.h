@@ -37,6 +37,12 @@ struct SupervisionStats
     std::uint64_t grad_skips = 0;        ///< PPO non-finite-grad skips
     std::uint64_t disk_checkpoints = 0;  ///< periodic on-disk saves
 
+    /** Drift-monitor flags (obs::DriftMonitor, DESIGN.md §13).
+     *  Informational only: drift is a distribution shift, not a
+     *  divergence, so it never counts toward total() and never trips
+     *  the quarantine machinery. */
+    std::uint64_t drift_flags = 0;
+
     std::uint64_t total() const
     {
         return trips + restores + reinits + fallback_windows +
@@ -119,6 +125,14 @@ class AgentSupervisor
      *  harvested, donate nothing, medium priority — the
      *  SoftwareIsolation stance expressed in the action space. */
     static AgentAction fallbackAction();
+
+    /**
+     * An external drift monitor flagged @p id's action distribution
+     * this window. Recorded as telemetry only — no restore, no
+     * probation: drifting with a shifted workload is often the correct
+     * behaviour, so the signal is surfaced, not acted on.
+     */
+    void noteDrift(VssdId id);
 
     /** Aggregated counters, including per-trainer grad-skip totals. */
     SupervisionStats stats() const;

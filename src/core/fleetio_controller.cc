@@ -102,6 +102,8 @@ FleetIoController::removeVssd(VssdId id)
             continue;
         if (supervisor_ != nullptr)
             supervisor_->detach(id);
+        if (drift_ != nullptr)
+            drift_->removeAgent(id);
         extractor_.reset(id);
         managed_.erase(managed_.begin() + std::ptrdiff_t(i));
         agents_.clear();
@@ -369,7 +371,31 @@ FleetIoController::tick()
         FLEETIO_TRACE_EVENT(gsb_.device().tracer(),
                             agentDecide(eq_.now(), m.vssd->id(),
                                         actionCode(action)));
+        if (drift_ != nullptr)
+            drift_->recordAction(m.vssd->id(), actionCode(action));
         applyAction(m, action);
+    }
+
+    // 3b. Close the drift window and surface the scores (informational
+    // only — nothing here feeds back into a decision).
+    if (drift_ != nullptr) {
+        drift_->rollWindow();
+        for (auto &m : managed_) {
+            const obs::DriftMonitor::Score s =
+                drift_->latest(m.vssd->id());
+            if (metrics_ != nullptr) {
+                const std::string base =
+                    "t" + std::to_string(m.vssd->id());
+                metrics_->gauge(base + ".drift_psi").set(s.psi);
+                metrics_->gauge(base + ".drift_kl").set(s.kl);
+            }
+            // `latest` sticks around after a quiet window; only a
+            // score minted by this roll counts as a fresh flag.
+            if (s.flagged && s.window == drift_->windowsSeen() &&
+                supervisor_ != nullptr) {
+                supervisor_->noteDrift(m.vssd->id());
+            }
+        }
     }
 
     // 4. Roll the observation windows and nudge GC.

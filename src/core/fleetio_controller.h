@@ -24,6 +24,7 @@
 #include "src/core/reward.h"
 #include "src/core/state_extractor.h"
 #include "src/harvest/gsb_manager.h"
+#include "src/obs/drift.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rl/checkpoint.h"
@@ -141,6 +142,16 @@ class FleetIoController
             m != nullptr ? &m->counter("controller.windows") : nullptr;
     }
 
+    /**
+     * Attach an agent drift monitor (nullptr = off, the default). Each
+     * tick then records every agent's action code, closes the drift
+     * window, publishes per-tenant "t<id>.drift_psi" / "t<id>.drift_kl"
+     * gauges (when metrics are on), and surfaces flagged windows to the
+     * supervisor as informational telemetry. Never feeds back into
+     * decisions: a monitored run decides bit-identically.
+     */
+    void setDriftMonitor(obs::DriftMonitor *d) { drift_ = d; }
+
   private:
     struct Managed
     {
@@ -174,6 +185,7 @@ class FleetIoController
     std::unique_ptr<AgentSupervisor> supervisor_;
     RewardHook reward_hook_;
     obs::MetricsRegistry *metrics_ = nullptr;
+    obs::DriftMonitor *drift_ = nullptr;
     obs::Counter *windows_counter_ = nullptr;
     std::vector<obs::Gauge *> reward_gauges_;  // by managed index
     std::string checkpoint_dir_;

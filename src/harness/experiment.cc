@@ -1,6 +1,7 @@
 #include "src/harness/experiment.h"
 
 #include <atomic>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -119,6 +120,8 @@ runExperiment(const ExperimentSpec &spec)
     if (trace_env) {
         opts.obs.trace = true;
         opts.obs.metrics = true;
+        opts.obs.attribution = true;
+        opts.obs.drift = true;
     }
 
     obs::PhaseProfiler prof;
@@ -192,6 +195,25 @@ runExperiment(const ExperimentSpec &spec)
         t.slo = v->config().slo;
         res.tenants.push_back(std::move(t));
     }
+    if (obs::AttributionHub *hub = tb.attribution()) {
+        res.attr_requests = hub->requests();
+        res.attr_sum_mismatches = hub->sumMismatches();
+        res.slo_verdicts = hub->verdicts().size();
+        res.verdict_self_load =
+            hub->verdictCount(obs::VerdictCause::kSelfLoad);
+        res.verdict_gc = hub->verdictCount(obs::VerdictCause::kGc);
+        res.verdict_neighbor =
+            hub->verdictCount(obs::VerdictCause::kNeighbor);
+        res.verdict_tier =
+            hub->verdictCount(obs::VerdictCause::kDegradationTier);
+        res.verdict_retry =
+            hub->verdictCount(obs::VerdictCause::kFaultRetry);
+    }
+    if (obs::DriftMonitor *drift = tb.drift()) {
+        res.drift_windows_scored = drift->windowsScored();
+        res.drift_flags = drift->flaggedWindows();
+        res.max_drift_psi = drift->maxPsi();
+    }
     policy->collectStats(res);
 
     // Env-enabled runs drop their artifacts next to the bench output;
@@ -205,6 +227,19 @@ runExperiment(const ExperimentSpec &spec)
         if (tb.tracer() != nullptr) {
             std::ofstream os(base + ".trace.json");
             tb.tracer()->writeChromeJson(os);
+            if (tb.tracer()->droppedCount() > 0) {
+                std::fprintf(stderr,
+                             "fleetio: trace ring overwrote %llu "
+                             "event(s) (%s.trace.json is truncated; "
+                             "raise obs.trace_capacity)\n",
+                             (unsigned long long)
+                                 tb.tracer()->droppedCount(),
+                             base.c_str());
+            }
+        }
+        if (tb.attribution() != nullptr) {
+            std::ofstream os(base + ".attribution.json");
+            tb.attribution()->writeJson(os, tb.drift());
         }
         if (tb.metrics() != nullptr) {
             std::ofstream csv(base + ".metrics.csv");

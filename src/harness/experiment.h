@@ -59,6 +59,23 @@ struct ExperimentResult
     std::uint64_t agent_grad_skips = 0;
     std::uint64_t agent_checkpoints = 0;  ///< on-disk saves
 
+    /** Root-cause observability outcome (DESIGN.md §13; all zero when
+     *  opts.obs.attribution is off). Verdict counts index by
+     *  obs::VerdictCause. */
+    std::uint64_t attr_requests = 0;
+    std::uint64_t attr_sum_mismatches = 0;
+    std::uint64_t slo_verdicts = 0;
+    std::uint64_t verdict_self_load = 0;
+    std::uint64_t verdict_gc = 0;
+    std::uint64_t verdict_neighbor = 0;
+    std::uint64_t verdict_tier = 0;
+    std::uint64_t verdict_retry = 0;
+
+    /** Agent drift outcome (zero when opts.obs.drift is off). */
+    std::uint64_t drift_windows_scored = 0;
+    std::uint64_t drift_flags = 0;
+    double max_drift_psi = 0.0;
+
     /** Simulation events dispatched over the whole run (warm-up +
      *  prepare + measure) — the denominator of events/sec perf
      *  tracking. Deterministic for a fixed spec. */

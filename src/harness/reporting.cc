@@ -9,6 +9,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "src/obs/json_reader.h"
+
 namespace fleetio {
 
 Table::Table(std::vector<std::string> headers)
@@ -127,6 +129,7 @@ printExperimentDetail(const ExperimentResult &res, std::ostream &os)
     printFaultSummary(res, os);
     printSupervisionSummary(res, os);
     printChurnSummary(res, os);
+    printAttributionSummary(res, os);
     os << '\n';
 }
 
@@ -173,6 +176,23 @@ BenchReport::addCell(const std::string &label,
             double(res.agent_lease_releases);
         c.metrics["agent_grad_skips"] = double(res.agent_grad_skips);
         c.metrics["agent_checkpoints"] = double(res.agent_checkpoints);
+    }
+    if (res.attr_requests != 0) {
+        c.metrics["attr_requests"] = double(res.attr_requests);
+        c.metrics["attr_sum_mismatches"] =
+            double(res.attr_sum_mismatches);
+        c.metrics["slo_verdicts"] = double(res.slo_verdicts);
+        c.metrics["verdict_self_load"] = double(res.verdict_self_load);
+        c.metrics["verdict_gc"] = double(res.verdict_gc);
+        c.metrics["verdict_neighbor"] = double(res.verdict_neighbor);
+        c.metrics["verdict_tier"] = double(res.verdict_tier);
+        c.metrics["verdict_retry"] = double(res.verdict_retry);
+    }
+    if (res.drift_windows_scored != 0) {
+        c.metrics["drift_windows_scored"] =
+            double(res.drift_windows_scored);
+        c.metrics["drift_flags"] = double(res.drift_flags);
+        c.metrics["max_drift_psi"] = res.max_drift_psi;
     }
     // The policy travels in the label-free metrics map as a side
     // string; keep it in the label instead when the caller didn't.
@@ -275,6 +295,8 @@ BenchReport::writeIfEnabled(int argc, const char *const *argv,
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             enabled = true;
+        if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
+            compareToBaseline(argv[i + 1], log);
     }
     if (const char *env = std::getenv("FLEETIO_BENCH_JSON")) {
         if (std::strcmp(env, "0") != 0 && *env != '\0') {
@@ -297,6 +319,74 @@ BenchReport::writeIfEnabled(int argc, const char *const *argv,
     log << "wrote " << path << " (" << cells_.size() << " cells, "
         << fmtDouble(elapsedSeconds(), 2) << " s wall)\n";
     return true;
+}
+
+bool
+BenchReport::compareToBaseline(const std::string &path,
+                               std::ostream &log) const
+{
+    obs::JsonValue base;
+    std::string error;
+    if (!obs::readJsonFile(path, base, error)) {
+        log << "warning: --baseline " << path << ": " << error << "\n";
+        return false;
+    }
+    if (base.str("schema") != "fleetio-bench-v1") {
+        log << "warning: --baseline " << path
+            << ": not a fleetio-bench-v1 record\n";
+        return false;
+    }
+
+    double threshold = 10.0;
+    if (const char *env = std::getenv("FLEETIO_BENCH_REGRESS_PCT")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (end != env && *end == '\0' && v > 0)
+            threshold = v;
+    }
+
+    const double wall = elapsedSeconds();
+    const std::uint64_t events = totalSimEvents();
+    struct Row
+    {
+        const char *name;
+        double baseline;
+        double current;
+    };
+    const Row rows[] = {
+        {"events_per_sec", base.num("events_per_sec"),
+         wall > 0 ? double(events) / wall : 0.0},
+        {"cells_per_sec", base.num("cells_per_sec"),
+         wall > 0 ? double(cells_.size()) / wall : 0.0},
+    };
+
+    log << "baseline compare vs " << path << " (bench \""
+        << base.str("bench") << "\", " << std::uint64_t(base.num("jobs"))
+        << " jobs; threshold " << fmtDouble(threshold, 1)
+        << "%, FLEETIO_BENCH_REGRESS_PCT):\n";
+    Table t({"metric", "baseline", "current", "delta"});
+    bool regressed = false;
+    std::string worst;
+    for (const Row &r : rows) {
+        std::string delta = "n/a";
+        if (r.baseline > 0) {
+            const double pct =
+                100.0 * (r.current - r.baseline) / r.baseline;
+            delta = (pct >= 0 ? "+" : "") + fmtDouble(pct, 1) + "%";
+            if (pct < -threshold) {
+                regressed = true;
+                worst = std::string(r.name) + " " + delta;
+            }
+        }
+        t.addRow({r.name, fmtDouble(r.baseline, 1),
+                  fmtDouble(r.current, 1), delta});
+    }
+    t.print(log);
+    if (regressed) {
+        log << "warning: REGRESSION vs baseline: " << worst
+            << " (threshold " << fmtDouble(threshold, 1) << "%)\n";
+    }
+    return regressed;
 }
 
 void
@@ -330,6 +420,25 @@ printSupervisionSummary(const ExperimentResult &res, std::ostream &os)
        << " lease-releases=" << res.agent_lease_releases
        << " grad-skips=" << res.agent_grad_skips
        << " checkpoints=" << res.agent_checkpoints << '\n';
+}
+
+void
+printAttributionSummary(const ExperimentResult &res, std::ostream &os)
+{
+    if (res.attr_requests == 0 && res.drift_windows_scored == 0)
+        return;
+    os << "attribution: requests=" << res.attr_requests
+       << " sum-mismatches=" << res.attr_sum_mismatches
+       << " verdicts=" << res.slo_verdicts << " (self-load="
+       << res.verdict_self_load << " gc=" << res.verdict_gc
+       << " neighbor=" << res.verdict_neighbor << " tier="
+       << res.verdict_tier << " retry=" << res.verdict_retry << ")";
+    if (res.drift_windows_scored != 0) {
+        os << " drift-flags=" << res.drift_flags << "/"
+           << res.drift_windows_scored
+           << " max-psi=" << fmtDouble(res.max_drift_psi, 3);
+    }
+    os << '\n';
 }
 
 void

@@ -67,6 +67,11 @@ void printSupervisionSummary(const ExperimentResult &res,
  *  tier stepdowns); prints nothing on a static run. */
 void printChurnSummary(const ExperimentResult &res, std::ostream &os);
 
+/** Root-cause observability outcome (verdict counts by cause, drift
+ *  flags); prints nothing when attribution was off. */
+void printAttributionSummary(const ExperimentResult &res,
+                             std::ostream &os);
+
 // jsonEscape / jsonNumber come from src/obs/json.h (the single JSON
 // escaping implementation, shared with the trace/metrics exporters).
 
@@ -119,6 +124,18 @@ class BenchReport
      */
     bool writeIfEnabled(int argc = 0, const char *const *argv = nullptr,
                         std::ostream &log = std::cerr) const;
+
+    /**
+     * Compare this run's throughput against a previous fleetio-bench-v1
+     * record (--baseline <BENCH_*.json> on a bench command line routes
+     * here). Prints a regression table (events/sec, cells/sec, shared
+     * per-cell metrics) to @p log and warns when the current run is
+     * slower than the baseline by more than the threshold percentage
+     * (FLEETIO_BENCH_REGRESS_PCT, default 10).
+     * @return true when a regression beyond the threshold was found.
+     */
+    bool compareToBaseline(const std::string &path,
+                           std::ostream &log = std::cerr) const;
 
   private:
     struct Cell

@@ -31,6 +31,23 @@ Testbed::Testbed(const TestbedOptions &opts)
     }
     if (opts_.obs.metrics)
         sched_.setMetrics(&metrics_);
+    if (opts_.obs.attribution) {
+        obs::AttributionHub::Config ac;
+        ac.channels = opts_.geo.num_channels;
+        ac.chips = std::size_t(opts_.geo.num_channels) *
+                   opts_.geo.chips_per_channel;
+        ac.top_k = opts_.obs.attr_top_k;
+        attr_ = std::make_unique<obs::AttributionHub>(ac);
+        dev_.setAttribution(attr_.get());
+        if (opts_.obs.metrics)
+            attr_->setMetrics(&metrics_);
+    }
+    if (opts_.obs.drift) {
+        obs::DriftMonitor::Config dc;
+        dc.baseline_windows = opts_.obs.drift_baseline_windows;
+        dc.psi_threshold = opts_.obs.drift_psi_threshold;
+        drift_ = std::make_unique<obs::DriftMonitor>(dc);
+    }
     if (opts_.churn.enabled()) {
         elastic_ = std::make_unique<ElasticTenancyManager>(
             opts_.churn.elastic, eq_, vssds_, gsb_, sched_);
@@ -125,6 +142,8 @@ Testbed::addTenant(WorkloadKind kind,
         profile, eq_, sched_, v.id(), v.ftl().logicalPages(),
         tenant_seed_));
     kinds_.push_back(kind);
+    if (attr_ != nullptr)
+        attr_->setSlo(v.id(), slo);
     FLEETIO_TRACE_EVENT(tracer_.get(),
                         setTrackName(obs::tenantTrack(v.id()),
                                      cfg.name + "-" +
@@ -201,6 +220,10 @@ Testbed::beginMeasurement()
     window_index_ = 0;
     if (opts_.obs.metrics)
         metrics_.markBaseline(eq_.now());
+    if (attr_ != nullptr)
+        attr_->markBaseline();
+    if (drift_ != nullptr)
+        drift_->markBaseline();
     if (opts_.obs.metrics || tracer_ != nullptr) {
         last_tenant_bytes_.assign(vssds_.size(), 0);
         for (auto *v : vssds_.active())
@@ -264,15 +287,34 @@ Testbed::observeWindow(double util)
         for (auto *v : vssds_.active())
             last_tenant_bytes_[v->id()] = v->bandwidth().totalBytes();
     }
+    rollAttributionWindow(now);
     if (opts_.obs.metrics) {
         metrics_.gauge("device.utilization").set(util);
         metrics_.gauge("device.queued_ops")
             .set(double(sched_.queuedOps()));
         metrics_.counter("device.dispatched_ops")
             .observe(sched_.dispatchedOps());
+        if (tracer_ != nullptr) {
+            metrics_.gauge("trace.dropped_events")
+                .set(double(tracer_->droppedCount()));
+        }
         metrics_.snapshotWindow(now);
     }
     ++window_index_;
+}
+
+/** Close the attribution/drift window at @p now (no-op when off). The
+ *  verdict engine sees each tenant's *effective* QoS tier so admission
+ *  degradation outranks every other cause. */
+void
+Testbed::rollAttributionWindow(SimTime now)
+{
+    if (attr_ == nullptr)
+        return;
+    std::vector<int> tiers(vssds_.size(), 0);
+    for (auto *v : vssds_.active())
+        tiers[v->id()] = int(v->effectiveTier());
+    attr_->rollWindow(now, window_index_, tiers);
 }
 
 void
@@ -283,8 +325,11 @@ Testbed::endMeasurement()
         v->rollWindow();
     // Fold the trailing partial window so the time-series covers the
     // whole measured region and lifetime aggregates match run totals.
-    if (opts_.obs.metrics && eq_.now() > last_sample_)
-        metrics_.snapshotWindow(eq_.now());
+    if (eq_.now() > last_sample_) {
+        rollAttributionWindow(eq_.now());
+        if (opts_.obs.metrics)
+            metrics_.snapshotWindow(eq_.now());
+    }
 }
 
 RecoveryManager::Refs

@@ -17,6 +17,8 @@
 #include "src/core/recovery.h"
 #include "src/harvest/gsb_manager.h"
 #include "src/harvest/harvested_block_table.h"
+#include "src/obs/attribution.h"
+#include "src/obs/drift.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
@@ -86,6 +88,15 @@ struct TestbedOptions
         bool trace = false;    ///< record trace events (Perfetto export)
         bool metrics = false;  ///< per-window metrics snapshots
         std::size_t trace_capacity = std::size_t(1) << 16;
+
+        /** Latency attribution + SLO verdicts (DESIGN.md §13). */
+        bool attribution = false;
+        std::size_t attr_top_k = 16;
+
+        /** Agent drift monitors (PSI/KL vs recorded baseline). */
+        bool drift = false;
+        std::uint64_t drift_baseline_windows = 8;
+        double drift_psi_threshold = 0.25;
     };
     ObsOptions obs{};
 
@@ -148,6 +159,14 @@ class Testbed
 
     /** The run's trace recorder, or nullptr when opts.obs.trace is off. */
     obs::TraceRecorder *tracer() { return tracer_.get(); }
+
+    /** The run's attribution hub, or nullptr when opts.obs.attribution
+     *  is off (the device's emit macros then cost one pointer test). */
+    obs::AttributionHub *attribution() { return attr_.get(); }
+
+    /** The run's agent drift monitor, or nullptr when opts.obs.drift is
+     *  off. Fed by the controller's decision loop. */
+    obs::DriftMonitor *drift() { return drift_.get(); }
 
     /** The run's metrics registry, or nullptr when opts.obs.metrics is
      *  off. Snapshotted once per window by the utilization sampler. */
@@ -247,6 +266,7 @@ class Testbed
                            const std::vector<ChannelId> &channels);
     void sampleUtilization();
     void observeWindow(double util);
+    void rollAttributionWindow(SimTime now);
     RecoveryManager::Refs recoveryRefs();
     void onCrash();
     void recordAck(const IoRequest &req);
@@ -264,6 +284,8 @@ class Testbed
     GsbManager gsb_;
     IoScheduler sched_;
     std::unique_ptr<obs::TraceRecorder> tracer_;
+    std::unique_ptr<obs::AttributionHub> attr_;
+    std::unique_ptr<obs::DriftMonitor> drift_;
     obs::MetricsRegistry metrics_;
     std::unique_ptr<ElasticTenancyManager> elastic_;
     std::unique_ptr<DurabilityModel> durability_;

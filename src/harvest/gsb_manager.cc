@@ -156,6 +156,9 @@ GsbManager::reclaimLazily(Gsb *gsb)
                                  obs::TraceEventType::kGsbReclaim,
                                  gsb->homeVssd(), gsb->id(),
                                  gsb->numChannels()));
+    FLEETIO_ATTR_EVENT(dev_.attribution(),
+                       noteHarvest(gsb->homeVssd(),
+                                   obs::HarvestNote::kReclaim));
     gsb->setReclaiming();
     // Detach from the harvester's write path: no new data flows in.
     if (gsb->inUse()) {
@@ -241,6 +244,9 @@ GsbManager::revokeUnderPressure(VssdId home_id)
                                      obs::TraceEventType::kGsbRevoke,
                                      home_id, g->id(),
                                      g->numChannels()));
+        FLEETIO_ATTR_EVENT(dev_.attribution(),
+                           noteHarvest(home_id,
+                                       obs::HarvestNote::kRevoked));
         destroyUnharvestedAfterPoolRemove(g);
         ++revoked_;
         revoked_any = true;
@@ -266,6 +272,9 @@ GsbManager::revokeUnderPressure(VssdId home_id)
                                      obs::TraceEventType::kGsbRevoke,
                                      home_id, g->id(),
                                      g->numChannels()));
+        FLEETIO_ATTR_EVENT(dev_.attribution(),
+                           noteHarvest(home_id,
+                                       obs::HarvestNote::kRevoked));
         reclaimLazily(g);
         ++revoked_;
         revoked_any = true;
@@ -382,6 +391,9 @@ GsbManager::forceReleaseHeld(VssdId harvester_id)
             gsbEvent(dev_.eventQueue().now(),
                      obs::TraceEventType::kGsbForceRelease,
                      harvester_id, g->id(), g->numChannels()));
+        FLEETIO_ATTR_EVENT(dev_.attribution(),
+                           noteHarvest(harvester_id,
+                                       obs::HarvestNote::kRevoked));
         // reclaimLazily detaches the harvester's write path right away
         // (no new data lands in the gSB) and releases never-written
         // blocks instantly; the rest drain through the home GC.
@@ -462,6 +474,9 @@ GsbManager::harvest(VssdId harvester_id, double gsb_bw_mbps)
         harvester->ftl().addExternalSource(g);
         current += g->numChannels();
         ++harvested_;
+        FLEETIO_ATTR_EVENT(dev_.attribution(),
+                           noteHarvest(harvester_id,
+                                       obs::HarvestNote::kCreated));
         FLEETIO_TRACE_EVENT(dev_.tracer(),
                             gsbEvent(dev_.eventQueue().now(),
                                      obs::TraceEventType::kGsbHarvest,

@@ -1,0 +1,242 @@
+#include "src/obs/json_reader.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace fleetio::obs {
+
+namespace {
+
+const JsonValue kNullValue{};
+
+struct Parser
+{
+    const std::string &text;
+    std::size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &what)
+    {
+        std::ostringstream os;
+        os << what << " at offset " << pos;
+        error = os.str();
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               std::isspace(static_cast<unsigned char>(text[pos])))
+            ++pos;
+    }
+
+    bool literal(const char *word)
+    {
+        const std::size_t n = std::string(word).size();
+        if (text.compare(pos, n, word) != 0)
+            return fail("bad literal");
+        pos += n;
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\') {
+                if (pos >= text.size())
+                    return fail("bad escape");
+                const char e = text[pos++];
+                switch (e) {
+                case '"': c = '"'; break;
+                case '\\': c = '\\'; break;
+                case '/': c = '/'; break;
+                case 'b': c = '\b'; break;
+                case 'f': c = '\f'; break;
+                case 'n': c = '\n'; break;
+                case 'r': c = '\r'; break;
+                case 't': c = '\t'; break;
+                case 'u': {
+                    // Our emitters only escape control characters;
+                    // decode the BMP code point as-is (no surrogates).
+                    if (pos + 4 > text.size())
+                        return fail("bad \\u escape");
+                    const unsigned long cp =
+                        std::strtoul(text.substr(pos, 4).c_str(),
+                                     nullptr, 16);
+                    pos += 4;
+                    if (cp < 0x80) {
+                        c = char(cp);
+                    } else {
+                        // Keep multi-byte points as '?' — artifact
+                        // strings are ASCII identifiers.
+                        c = '?';
+                    }
+                    break;
+                }
+                default:
+                    return fail("bad escape");
+                }
+            }
+            out.push_back(c);
+        }
+        if (pos >= text.size())
+            return fail("unterminated string");
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end");
+        const char c = text[pos];
+        if (c == '{') {
+            out.kind = JsonValue::Kind::kObject;
+            ++pos;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                if (!parseValue(out.fields[key]))
+                    return false;
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            out.kind = JsonValue::Kind::kArray;
+            ++pos;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            while (true) {
+                out.items.emplace_back();
+                if (!parseValue(out.items.back()))
+                    return false;
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::kString;
+            return parseString(out.text);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::kBool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::kNull;
+            return literal("null");
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+            out.kind = JsonValue::Kind::kNumber;
+            const char *start = text.c_str() + pos;
+            char *end = nullptr;
+            out.number = std::strtod(start, &end);
+            if (end == start)
+                return fail("bad number");
+            pos += std::size_t(end - start);
+            return true;
+        }
+        return fail("unexpected character");
+    }
+};
+
+}  // namespace
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const auto it = fields.find(key);
+    return it == fields.end() ? kNullValue : it->second;
+}
+
+double
+JsonValue::num(const std::string &key, double fallback) const
+{
+    const JsonValue &v = at(key);
+    return v.isNumber() ? v.number : fallback;
+}
+
+std::string
+JsonValue::str(const std::string &key, const std::string &fallback) const
+{
+    const JsonValue &v = at(key);
+    return v.isString() ? v.text : fallback;
+}
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    out = JsonValue{};
+    Parser p{text, 0, {}};
+    if (!p.parseValue(out)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing data");
+        error = p.error;
+        return false;
+    }
+    return true;
+}
+
+bool
+readJsonFile(const std::string &path, JsonValue &out, std::string &error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parseJson(buf.str(), out, error);
+}
+
+}  // namespace fleetio::obs

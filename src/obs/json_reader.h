@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Dependency-free JSON reader for FleetIO's own artifacts
+ * (fleetio-bench-v1, fleetio-attribution-v1, fleetio-metrics-v1).
+ * Offline tooling only — never on a simulation path. It parses the
+ * subset of JSON those emitters produce (objects, arrays, strings,
+ * numbers, booleans, null; no \uXXXX surrogate pairs) into an owned
+ * value tree.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fleetio::obs {
+
+class JsonValue
+{
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    Kind kind = Kind::kNull;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> items;                 ///< kArray
+    std::map<std::string, JsonValue> fields;      ///< kObject
+
+    bool isNull() const { return kind == Kind::kNull; }
+    bool isNumber() const { return kind == Kind::kNumber; }
+    bool isString() const { return kind == Kind::kString; }
+    bool isArray() const { return kind == Kind::kArray; }
+    bool isObject() const { return kind == Kind::kObject; }
+
+    /** Object member, or null-kind sentinel when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Convenience accessors with defaults for missing/mistyped data. */
+    double num(const std::string &key, double fallback = 0.0) const;
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const;
+};
+
+/**
+ * Parse @p text. Returns false (and fills @p error with a position
+ * message) on malformed input; @p out is valid only on success.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Read and parse a file. */
+bool readJsonFile(const std::string &path, JsonValue &out,
+                  std::string &error);
+
+}  // namespace fleetio::obs

@@ -287,7 +287,14 @@ TraceRecorder::writeChromeJson(std::ostream &os) const
         }
         os << "}";
     }
-    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+    // Footer: ring-drop accounting (Chrome ignores unknown top-level
+    // keys; Perfetto surfaces otherData in the trace info dialog). A
+    // nonzero droppedEvents means the oldest events were overwritten
+    // and the exported trace starts mid-run.
+    os << "\n],\"otherData\":{\"droppedEvents\":\"" << droppedCount()
+       << "\",\"retainedEvents\":\"" << eventCount()
+       << "\",\"rings\":\"" << ringCount()
+       << "\"},\"displayTimeUnit\":\"ms\"}\n";
 }
 
 bool

@@ -57,10 +57,20 @@ FlashDevice::issueReadImpl(Ppa ppa, Callback done, bool host)
         for (std::uint32_t k = 1; k <= retries; ++k)
             array_time += geo_.read_latency * (k + 1);
     }
+    // Snapshot the accumulators *before* reserving: the attribution
+    // hub derives the exact wait/service split from them (pure reads;
+    // the run is byte-identical whether or not a hub consumes them).
+    const SimTime chip_free = chp.busyUntil();
     const SimTime read_done = chp.reserve(eq_.now(), array_time);
     const SimTime xfer = geo_.pageTransferTime();
+    const SimTime bus_free = chan.busBusyUntil();
     const SimTime complete = chan.reserveBus(read_done, xfer);
     chan.accountBusy(xfer);
+    FLEETIO_ATTR_EVENT(
+        attribution_,
+        noteRead(ch, std::size_t(ch) * geo_.chips_per_channel + cp,
+                 eq_.now(), chip_free, read_done,
+                 array_time - geo_.read_latency, bus_free, complete));
 
     if (host) {
         chan.addOutstanding();
@@ -98,9 +108,15 @@ FlashDevice::issueProgramImpl(Ppa ppa, Callback done, bool host)
     // proceeds inside the chip, so programs pipeline across chips
     // while the bus keeps streaming (as on real hardware).
     const SimTime xfer = geo_.pageTransferTime();
+    const SimTime bus_free = chan.busBusyUntil();
     const SimTime xfer_done = chan.reserveBus(eq_.now(), xfer);
     chan.accountBusy(xfer);
+    const SimTime chip_free = chp.busyUntil();
     const SimTime complete = chp.reserve(xfer_done, geo_.program_latency);
+    FLEETIO_ATTR_EVENT(
+        attribution_,
+        noteProgram(ch, std::size_t(ch) * geo_.chips_per_channel + cp,
+                    eq_.now(), bus_free, xfer_done, chip_free, complete));
 
     if (host) {
         chan.addOutstanding();
@@ -149,7 +165,12 @@ FlashDevice::issueErase(ChannelId ch, ChipId cp, Callback done)
 {
     FlashChip &chp = chip(ch, cp);
     maybeSlowDown(chp);
+    const SimTime chip_free = chp.busyUntil();
     const SimTime complete = chp.reserve(eq_.now(), geo_.erase_latency);
+    FLEETIO_ATTR_EVENT(
+        attribution_,
+        noteErase(ch, std::size_t(ch) * geo_.chips_per_channel + cp,
+                  eq_.now(), chip_free, complete));
     ++erases_;
     FLEETIO_TRACE_EVENT(
         tracer_, gcOp(eq_.now(), obs::TraceEventType::kGcErase, ch));
@@ -223,6 +244,10 @@ FlashDevice::crashReset()
         chp.crashResetValidBits();
     for (auto &e : rmap_)
         e = RmapEntry{};
+    // Reservation accumulators just rewound to zero; stale occupancy
+    // segments would otherwise blame post-recovery waits on pre-crash
+    // tenants.
+    FLEETIO_ATTR_EVENT(attribution_, crashReset());
 }
 
 bool

@@ -9,9 +9,12 @@
 #include <cstdint>
 #include <vector>
 
-// fleetio-lint: allow(layering): trace instrumentation is deliberately
-// cross-layer — a null-guarded pointer + macro that compiles out, the
-// one obs dependency the device layer is allowed (DESIGN.md §9).
+// fleetio-lint: allow(layering): attribution instrumentation is
+// deliberately cross-layer — a null-guarded pointer + macros that
+// compile out (DESIGN.md §13).
+#include "src/obs/attribution.h"
+// fleetio-lint: allow(layering): trace instrumentation, same contract
+// (DESIGN.md §9).
 #include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
@@ -135,6 +138,16 @@ class FlashDevice
      */
     void setTracer(obs::TraceRecorder *t) { tracer_ = t; }
     obs::TraceRecorder *tracer() const { return tracer_; }
+
+    /**
+     * Install the latency-attribution hub (nullptr = attribution off,
+     * the default). Hub pattern identical to the tracer: scheduler, GC,
+     * and gSB manager reach it through attribution(); issue paths note
+     * reservation timings into it behind FLEETIO_ATTR_EVENT, so a null
+     * hub costs one pointer test and off runs stay byte-identical.
+     */
+    void setAttribution(obs::AttributionHub *a) { attribution_ = a; }
+    obs::AttributionHub *attribution() const { return attribution_; }
 
     // --- Durability / power loss ---------------------------------------
 
@@ -267,6 +280,7 @@ class FlashDevice
     EventQueue &eq_;
     FaultInjector *injector_ = nullptr;
     obs::TraceRecorder *tracer_ = nullptr;
+    obs::AttributionHub *attribution_ = nullptr;
     DurabilityModel *durability_ = nullptr;
     PowerLossInjector *power_loss_ = nullptr;
     SlotFreedFn on_slot_freed_;

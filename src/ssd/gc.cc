@@ -166,7 +166,15 @@ GcEngine::migrateOnePage(PageId pg)
     ++pages_migrated_;
     ++in_flight_;
     const std::uint64_t gen = job_gen_;
+    // GC copyback occupancy is blamed on the GC's home tenant: its
+    // stale pages forced the migration, whichever vSSD's data moves.
+    // The program fires from the read's completion callback, so it
+    // re-arms there — the original scope is long gone by then.
+    FLEETIO_ATTR_SCOPE(dev_->attribution(), home_->vssd(),
+                       obs::SegKind::kGcOp);
     dev_->issueGcRead(old_ppa, [this, new_ppa, gen]() {
+        FLEETIO_ATTR_SCOPE(dev_->attribution(), home_->vssd(),
+                           obs::SegKind::kGcOp);
         dev_->issueGcProgram(new_ppa, [this, gen]() {
             if (gen != job_gen_)
                 return;
@@ -188,6 +196,8 @@ GcEngine::finishBlock()
 {
     const Victim v = current_;
     const std::uint64_t gen = job_gen_;
+    FLEETIO_ATTR_SCOPE(dev_->attribution(), home_->vssd(),
+                       obs::SegKind::kGcOp);
     dev_->issueErase(v.ch, v.chip, [this, v, gen]() {
         if (gen != job_gen_)
             return;

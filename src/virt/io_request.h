@@ -5,6 +5,7 @@
  */
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 
@@ -32,6 +33,18 @@ struct IoRequest
     /** Deterministic per-scheduler request sequence number, stamped at
      *  submit. Correlates the request's trace-event span. */
     std::uint64_t trace_id = 0;
+
+    /**
+     * Inline latency-attribution record (obs::AttributionHub): the
+     * per-stage breakdown of the request's last-completing page, whose
+     * stage sum equals the end-to-end latency exactly. Written only
+     * when an attribution hub is installed; otherwise dead weight. The
+     * count mirrors obs::kNumStages (static_assert in attribution.cc)
+     * so this hot struct does not pull in the obs layer.
+     */
+    static constexpr std::size_t kAttrStages = 9;
+    SimTime attr_stages[kAttrStages] = {};
+    SimTime attr_complete = 0;  ///< completion hint of the stored page
 
     /** Invoked once, at the completion time of the final page. */
     InlineFunction<void(const IoRequest &, SimTime completion)> on_complete;

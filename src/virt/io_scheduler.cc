@@ -69,6 +69,9 @@ IoScheduler::submit(IoRequestPtr req)
     FLEETIO_TRACE_EVENT(dev_.tracer(),
                         ioSubmit(eq.now(), req->vssd, req->trace_id,
                                  req->type, req->npages));
+    FLEETIO_ATTR_EVENT(dev_.attribution(),
+                       resetRequest(req->attr_stages,
+                                    &req->attr_complete));
 
     for (std::uint32_t i = 0; i < req->npages; ++i)
         enqueuePage(req, req->lpa + i);
@@ -146,8 +149,15 @@ IoScheduler::enqueueOp(ChannelId ch, VssdId vssd, PageOp op)
 void
 IoScheduler::completeZeroFill(IoRequestPtr req)
 {
-    dev_.eventQueue().scheduleAfter(dev_.geometry().read_latency,
-                                    [this, req]() {
+    EventQueue &eq = dev_.eventQueue();
+    const SimTime lat = dev_.geometry().read_latency;
+    // The whole page span is modelled chip service: no queueing, no
+    // bus, no interference — the mapping table answered.
+    FLEETIO_ATTR_EVENT(dev_.attribution(),
+                       zeroFillPage(req->vssd, lat, eq.now() + lat,
+                                    req->attr_stages,
+                                    &req->attr_complete));
+    eq.scheduleAfter(lat, [this, req]() {
         onPageDone(req);
     });
 }
@@ -171,6 +181,11 @@ IoScheduler::onPageDone(IoRequestPtr req)
     FLEETIO_TRACE_EVENT(dev_.tracer(),
                         ioComplete(now, req->vssd, req->trace_id,
                                    req->type, lat));
+    FLEETIO_ATTR_EVENT(dev_.attribution(),
+                       recordRequest(req->vssd,
+                                     req->type == IoType::kWrite,
+                                     req->trace_id, req->submit_time,
+                                     now, req->attr_stages));
     if (metrics_ != nullptr) {
         TenantMetrics &tm = tenantMetrics(req->vssd);
         tm.latency->record(lat);
@@ -302,10 +317,23 @@ IoScheduler::pump(ChannelId ch)
             onPageDone(req);
             pump(ch);
         };
-        if (req->type == IoType::kRead)
-            dev_.issueRead(op.ppa, std::move(done));
-        else
-            dev_.issueProgram(op.ppa, std::move(done));
+        {
+            // Arm the attribution hub for this page: the device notes
+            // the op's exact wait/service split against this tenant,
+            // with foreign (harvested-channel) ops leaving harvest
+            // occupancy segments for their victims' ledgers.
+            FLEETIO_ATTR_SCOPE(dev_.attribution(), vid,
+                               op.foreign ? obs::SegKind::kHarvestOp
+                                          : obs::SegKind::kHostOp);
+            if (req->type == IoType::kRead)
+                dev_.issueRead(op.ppa, std::move(done));
+            else
+                dev_.issueProgram(op.ppa, std::move(done));
+        }
+        FLEETIO_ATTR_EVENT(
+            dev_.attribution(),
+            finishHostPage(op.enqueue_time - req->submit_time, wait,
+                           req->attr_stages, &req->attr_complete));
     }
 }
 

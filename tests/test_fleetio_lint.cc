@@ -1,7 +1,7 @@
 /**
  * @file
  * fleetio_lint against the seeded fixture tree under
- * tests/lint_fixtures/: every rule R1-R7 is proven live by a fixture
+ * tests/lint_fixtures/: every rule R1-R8 is proven live by a fixture
  * that trips it, a clean file stays clean, and the suppression
  * machinery both silences reasoned allows and flags reason-less ones.
  */
@@ -47,13 +47,14 @@ inFile(const Result &r, const std::string &rule,
 TEST(LintRegistry, ExposesAllRulesWithIssueTags)
 {
     const auto &rs = rules();
-    ASSERT_GE(rs.size(), 7u);
+    ASSERT_GE(rs.size(), 8u);
     std::vector<std::string> ids;
     for (const RuleInfo &r : rs)
         ids.push_back(r.id);
     for (const char *want :
          {"nondeterminism", "hotpath", "trace-macro", "layering",
-          "header-hygiene", "build-registration", "journal-api"}) {
+          "header-hygiene", "build-registration", "journal-api",
+          "attr-macro"}) {
         EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end())
             << "missing rule " << want;
     }
@@ -63,12 +64,12 @@ TEST(LintFixtures, FullRunFlagsEveryRule)
 {
     const Result r = runLint(fixturesRoot());
     EXPECT_FALSE(r.clean());
-    EXPECT_EQ(r.files_scanned, 12u);
+    EXPECT_EQ(r.files_scanned, 13u);
     EXPECT_EQ(r.suppressions_used, 2u);
     for (const char *rule :
          {"nondeterminism", "hotpath", "trace-macro", "layering",
           "header-hygiene", "build-registration", "journal-api",
-          "suppression"}) {
+          "attr-macro", "suppression"}) {
         const bool found = std::any_of(
             r.violations.begin(), r.violations.end(),
             [&](const Violation &v) { return v.rule == rule; });
@@ -155,6 +156,16 @@ TEST(LintFixtures, R7JournalApiFlagsDirectMutationAndHonorsAllow)
     EXPECT_EQ(hits[0].line, 9);
     EXPECT_NE(hits[0].message.find("durable"), std::string::npos);
     EXPECT_GE(r.suppressions_used, 1u);
+}
+
+TEST(LintFixtures, R8AttrMacroFlagsRawEmit)
+{
+    const Result r = runRule("attr-macro");
+    const auto hits = inFile(r, "attr-macro", "attr_bad.cc");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 12);
+    EXPECT_NE(hits[0].message.find("FLEETIO_ATTR_EVENT"),
+              std::string::npos);
 }
 
 TEST(LintFixtures, ReasonedSuppressionSilencesButReasonlessFires)

@@ -37,6 +37,9 @@ const std::vector<RuleInfo> kRules = {
     {"journal-api", "R7",
      "block-state mutations in src/{ssd,harvest} go through "
      "FlashDevice's durable* journal API"},
+    {"attr-macro", "R8",
+     "AttributionHub emits in src/{sim,ssd,virt,harvest} go through "
+     "FLEETIO_ATTR_EVENT / FLEETIO_ATTR_SCOPE"},
     {"suppression", "-",
      "fleetio-lint: allow(...) requires a non-empty reason"},
 };
@@ -869,6 +872,57 @@ checkJournalApi(Ctx &ctx, FileInfo &f)
     }
 }
 
+// ----------------------------------------------------------------- R8
+
+void
+checkAttrMacro(Ctx &ctx, FileInfo &f)
+{
+    if (!(f.under("src/sim/") || f.under("src/ssd/") ||
+          f.under("src/virt/") || f.under("src/harvest/")))
+        return;
+    // AttributionHub's emit-family methods. Export/introspection
+    // (writeJson, results, blame, ...) are cold-path and exempt.
+    static const char *kEmits[] = {
+        "noteRead",      "noteProgram",   "noteErase",
+        "finishHostPage", "zeroFillPage", "recordRequest",
+        "resetRequest",  "noteHarvest",   "pushContext",
+        "popContext"};
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+        const std::string &line = f.code[li];
+        if (line.empty() ||
+            line.find("FLEETIO_ATTR_") != std::string::npos)
+            continue;
+        for (const char *m : kEmits) {
+            // Receiver-qualified call: `x->m(` or `x.m(`. Bare `m(`
+            // is the macro's second argument — already guarded.
+            for (std::size_t pos = line.find(m);
+                 pos != std::string::npos;
+                 pos = line.find(m, pos + 1)) {
+                const bool dot = pos >= 1 && line[pos - 1] == '.';
+                const bool arrow = pos >= 2 &&
+                                   line[pos - 2] == '-' &&
+                                   line[pos - 1] == '>';
+                if (!dot && !arrow)
+                    continue;
+                std::size_t j = pos + std::string(m).size();
+                if (j < line.size() && isWordChar(line[j]))
+                    continue;
+                while (j < line.size() &&
+                       std::isspace((unsigned char)line[j]))
+                    ++j;
+                if (j >= line.size() || line[j] != '(')
+                    continue;
+                ctx.report(f, int(li) + 1, "attr-macro",
+                           std::string("raw AttributionHub::") + m +
+                               " outside src/obs: wrap in "
+                               "FLEETIO_ATTR_EVENT(hub, " + m +
+                               "(...)) or FLEETIO_ATTR_SCOPE so it "
+                               "null-guards and compiles out");
+            }
+        }
+    }
+}
+
 // ------------------------------------------------- bad suppressions
 
 void
@@ -1028,6 +1082,8 @@ runLint(const std::string &root, const Options &opts)
             checkBuildRegistration(ctx, f);
         if (ctx.ruleEnabled("journal-api"))
             checkJournalApi(ctx, f);
+        if (ctx.ruleEnabled("attr-macro"))
+            checkAttrMacro(ctx, f);
     }
     if (ctx.ruleEnabled("layering"))
         checkLayering(ctx);

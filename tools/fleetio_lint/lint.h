@@ -22,6 +22,9 @@
  *                             src/{ssd,harvest} (erase/retire/release/
  *                             close) go through FlashDevice's durable*
  *                             journal API, never straight at the chip
+ *  - attr-macro          (R8) AttributionHub emits in
+ *                             src/{sim,ssd,virt,harvest} go through
+ *                             FLEETIO_ATTR_EVENT / FLEETIO_ATTR_SCOPE
  *  - suppression              an allow() without a reason is itself a
  *                             violation
  */
@@ -65,11 +68,11 @@ struct Result
 struct RuleInfo
 {
     const char *id;
-    const char *issue_tag;  ///< "R1".."R7"
+    const char *issue_tag;  ///< "R1".."R8"
     const char *summary;
 };
 
-/** The rule registry, in R1..R7 order. */
+/** The rule registry, in R1..R8 order. */
 const std::vector<RuleInfo> &rules();
 
 /** Lint every source file under @p root (src/, tests/, bench/,
