@@ -142,6 +142,5 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nPaper defaults: beta 0.6, 3 stacked windows, 50 ms "
                  "admission batches.\n";
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

@@ -268,6 +268,6 @@ main(int argc, char **argv)
     }
     report.addCell("sw-isolation", sw);
     report.setMetric("resilience_ok", ok ? 1.0 : 0.0);
-    report.writeIfEnabled(argc, argv);
-    return ok ? 0 : 1;
+    const int regress = report.finish(argc, argv);
+    return ok ? regress : 1;
 }

@@ -226,6 +226,6 @@ main(int argc, char **argv)
                          o.mappings_intact ? 1.0 : 0.0}});
     }
     report.setMetric("integrity_ok", ok ? 1.0 : 0.0);
-    report.writeIfEnabled(argc, argv);
-    return ok ? 0 : 1;
+    const int regress = report.finish(argc, argv);
+    return ok ? regress : 1;
 }

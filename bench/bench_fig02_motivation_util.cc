@@ -50,6 +50,5 @@ main(int argc, char **argv)
               << "x  (paper: 1.39x avg, up to 1.52x)\n";
     report.setMetric("sw_util_gain_avg", ratio_sum / n);
     report.setMetric("sw_util_gain_max", ratio_max);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

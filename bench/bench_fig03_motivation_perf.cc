@@ -62,6 +62,5 @@ main(int argc, char **argv)
               << "x (paper: up to 2.02x)\n";
     report.setMetric("sw_bi_bw_gain_avg", bw_gain_sum / n);
     report.setMetric("sw_ls_p99_inflation_avg", lat_ratio_sum / n);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

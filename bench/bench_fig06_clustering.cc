@@ -162,6 +162,5 @@ main(int argc, char **argv)
     }
     std::cout << "PCA projection (cluster centroids, cf. Fig. 6):\n";
     scat.print(std::cout);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

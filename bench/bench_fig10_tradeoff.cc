@@ -67,6 +67,5 @@ main(int argc, char **argv)
     std::cout << "\nExpected shape: FleetIO sits upper-left — more "
                  "utilization than HW/SSDKeeper at far lower P99 than "
                  "SW/Adaptive.\n";
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

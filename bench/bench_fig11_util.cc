@@ -51,6 +51,5 @@ main(int argc, char **argv)
               << " of Software Isolation's utilization on average "
                  "(paper: ~93%).\n";
     report.setMetric("fleetio_vs_sw_util_avg", frac_sum / n);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

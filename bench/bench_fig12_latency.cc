@@ -59,6 +59,5 @@ main(int argc, char **argv)
     report.setMetric("fleetio_p99_vs_hw_avg", fleet_sum / n);
     report.setMetric("fleetio_p99_reduction_vs_sw_avg",
                      reduction_sum / n);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

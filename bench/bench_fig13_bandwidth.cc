@@ -57,6 +57,5 @@ main(int argc, char **argv)
               << fmtPercent(frac_sum / n) << " (paper: ~89%).\n";
     report.setMetric("fleetio_bi_bw_gain_avg", gain_sum / n);
     report.setMetric("fleetio_vs_sw_bw_avg", frac_sum / n);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

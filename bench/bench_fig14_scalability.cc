@@ -62,6 +62,5 @@ main(int argc, char **argv)
     b.print(std::cout);
     std::cout << "\n(c) bandwidth of bandwidth-intensive workloads\n";
     c.print(std::cout);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

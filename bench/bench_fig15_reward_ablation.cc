@@ -63,6 +63,5 @@ main(int argc, char **argv)
                  "tracks Hardware Isolation (beta = 1 gives no "
                  "incentive to donate); full FleetIO lifts "
                  "utilization while holding P99 near HW.\n";
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

@@ -57,6 +57,5 @@ main(int argc, char **argv)
         }
     }
     t.print(std::cout);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

@@ -138,6 +138,5 @@ main(int argc, char **argv)
     t.print(std::cout);
     std::cout << "\nExpected shape: Transfer within a few percent of "
                  "Pretrained (paper: within 5%).\n";
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

@@ -216,7 +216,7 @@ main(int argc, char **argv)
     report.setMetric("disabled_overhead_pct", disabled_pct);
     report.setMetric("enabled_overhead_pct", enabled_pct);
     report.setMetric("parity", sameResult(res_off, res_on) ? 1 : 0);
-    report.writeIfEnabled(argc, argv, std::cout);
+    const int regress = report.finish(argc, argv, std::cout);
 
-    return ok ? 0 : 1;
+    return ok ? regress : 1;
 }

@@ -197,6 +197,5 @@ main(int argc, char **argv)
 
     report.setMetric("event_queue_inline_speedup",
                      inline_eps / boxed_eps);
-    report.writeIfEnabled(argc, argv);
-    return 0;
+    return report.finish(argc, argv);
 }

@@ -356,6 +356,6 @@ main(int argc, char **argv)
                          o.mappings_intact ? 1.0 : 0.0}});
     }
     report.setMetric("verdicts_ok", ok ? 1.0 : 0.0);
-    report.writeIfEnabled(argc, argv);
-    return ok ? 0 : 1;
+    const int regress = report.finish(argc, argv);
+    return ok ? regress : 1;
 }

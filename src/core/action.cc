@@ -21,6 +21,7 @@ ActionMapper::spec() const
                          harvestable_levels_.size(),
                          std::size_t(kNumPriorities)}};
     if (tier_head_)
+        // fleetio-analyze: allow(hot-alloc): spec() runs once per agent attach, not per decision
         spec.head_sizes.push_back(kNumQosTiers);
     return spec;
 }

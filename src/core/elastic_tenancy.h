@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "src/core/tenant_admission.h"
+#include "src/core/thread_annotations.h"
 #include "src/harvest/gsb_manager.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/types.h"
@@ -95,7 +96,7 @@ struct ChurnStats
  * The elastic-tenancy manager. One per Testbed, created only when a
  * churn schedule is configured.
  */
-class ElasticTenancyManager
+class FLEETIO_THREAD_CONFINED ElasticTenancyManager
 {
   public:
     /**

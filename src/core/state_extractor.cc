@@ -64,6 +64,7 @@ void
 StateExtractor::push(VssdId vssd, rl::Vector window_state)
 {
     auto &h = history_[vssd];
+    // fleetio-analyze: allow(hot-alloc): bounded history: paired pop_front holds state_stack depth
     h.push_back(std::move(window_state));
     while (h.size() > std::size_t(cfg_.state_stack))
         h.pop_front();

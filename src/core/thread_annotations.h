@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lock-discipline annotation macros, checked by fleetio-analyze rule
+ * R9 (tools/fleetio_lint/analyze.{h,cc}, DESIGN.md §14). They expand
+ * to nothing for the compiler — the *analyzer* parses them out of the
+ * source text and verifies, interprocedurally, that:
+ *
+ *  - every access to a field marked FLEETIO_GUARDED_BY(m) happens in
+ *    a method that holds m (a std::lock_guard / std::unique_lock /
+ *    std::scoped_lock on m in the body, or the method itself carries
+ *    FLEETIO_REQUIRES(m)); constructors and destructors are exempt
+ *    (single-threaded by construction);
+ *  - every caller of a FLEETIO_REQUIRES(m) function holds m;
+ *  - no holder of m calls a FLEETIO_EXCLUDES(m) function (recursive
+ *    non-recursive-mutex lock = deadlock);
+ *  - a FLEETIO_THREAD_CONFINED class declares no std::mutex /
+ *    std::atomic members — confinement and internal synchronization
+ *    are mutually exclusive designs, and mixing them is how "mostly
+ *    confined" classes rot into data races.
+ *
+ * Keep the macros no-op (not clang attributes): the tree builds with
+ * gcc where thread-safety attributes warn, and the analyzer — not the
+ * compiler — is the enforcement point, so the checked semantics stay
+ * identical across toolchains.
+ *
+ * Usage:
+ *   class ThreadPool {
+ *       std::mutex mu_;
+ *       std::deque<Task> tasks_ FLEETIO_GUARDED_BY(mu_);
+ *       void drainLocked() FLEETIO_REQUIRES(mu_);
+ *       void notify() FLEETIO_EXCLUDES(mu_);
+ *   };
+ */
+#pragma once
+
+/** Field is only read/written while holding mutex @p m. */
+#define FLEETIO_GUARDED_BY(m)
+
+/** Function must be entered with mutex @p m already held. */
+#define FLEETIO_REQUIRES(m)
+
+/** Function must NOT be entered while holding mutex @p m. */
+#define FLEETIO_EXCLUDES(m)
+
+/**
+ * Class is confined to one thread at a time (per-experiment state in
+ * the parallel harness: each sweep cell owns its simulation stack).
+ * The analyzer rejects mutex/atomic members in confined classes.
+ */
+#define FLEETIO_THREAD_CONFINED

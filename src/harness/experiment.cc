@@ -8,9 +8,51 @@
 #include <mutex>
 #include <tuple>
 
+#include "src/core/thread_annotations.h"
 #include "src/virt/channel_allocator.h"
 
 namespace fleetio {
+
+namespace {
+
+/** One calibrated-SLO cache entry. Heap-boxed by SloCache so map
+ *  rebalancing never moves the once_flag. */
+struct SloEntry
+{
+    std::once_flag once;
+    SimTime slo = 0;
+};
+
+using SloKey = std::tuple<int, std::size_t, std::uint32_t,
+                          std::uint32_t, long>;
+
+/**
+ * The only cross-cell state in a parallel sweep: a per-key
+ * once-calibration cache. The mutex only guards the map lookup; the
+ * (multi-second) solo simulation runs under the entry's once_flag, so
+ * concurrent sweep cells needing the same SLO block on one
+ * calibration instead of duplicating it, while cells needing
+ * *different* SLOs calibrate concurrently.
+ */
+class SloCache
+{
+  public:
+    SloEntry *intern(const SloKey &key)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        auto &slot = entries_[key];
+        if (!slot)
+            slot = std::make_unique<SloEntry>();
+        return slot.get();
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<SloKey, std::unique_ptr<SloEntry>> entries_
+        FLEETIO_GUARDED_BY(mu_);
+};
+
+}  // namespace
 
 double
 ExperimentResult::aggregateBwMBps() const
@@ -53,32 +95,12 @@ SimTime
 calibratedSlo(WorkloadKind kind, std::size_t num_tenants,
               const TestbedOptions &opts)
 {
-    using Key = std::tuple<int, std::size_t, std::uint32_t,
-                           std::uint32_t, long>;
-    // Per-key once-calibration: the mutex only guards the map lookup;
-    // the (multi-second) solo simulation runs under the entry's
-    // once_flag, so concurrent sweep cells needing the same SLO block
-    // on one calibration instead of duplicating it, while cells
-    // needing *different* SLOs calibrate concurrently. Entries are
-    // heap-boxed so map rebalancing never moves a once_flag.
-    struct Entry
-    {
-        std::once_flag once;
-        SimTime slo = 0;
-    };
-    static std::mutex mu;
-    static std::map<Key, std::unique_ptr<Entry>> cache;
-    const Key key{int(kind), num_tenants, opts.geo.blocks_per_chip,
-                  opts.geo.pages_per_block,
-                  long(opts.intensity * 1000)};
-    Entry *entry;
-    {
-        std::lock_guard<std::mutex> g(mu);
-        auto &slot = cache[key];
-        if (!slot)
-            slot = std::make_unique<Entry>();
-        entry = slot.get();
-    }
+    static SloCache cache;
+    const SloKey key{int(kind), num_tenants,
+                     opts.geo.blocks_per_chip,
+                     opts.geo.pages_per_block,
+                     long(opts.intensity * 1000)};
+    SloEntry *entry = cache.intern(key);
     std::call_once(entry->once, [&]() {
         // Solo run on a hardware-isolated share of the device.
         TestbedOptions solo = opts;

@@ -290,13 +290,23 @@ bool
 BenchReport::writeIfEnabled(int argc, const char *const *argv,
                             std::ostream &log) const
 {
+    (void)finish(argc, argv, log);
+    return wrote_last_;
+}
+
+int
+BenchReport::finish(int argc, const char *const *argv,
+                    std::ostream &log) const
+{
+    wrote_last_ = false;
     bool enabled = false;
+    bool regressed = false;
     std::string dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0)
             enabled = true;
         if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc)
-            compareToBaseline(argv[i + 1], log);
+            regressed = compareToBaseline(argv[i + 1], log) || regressed;
     }
     if (const char *env = std::getenv("FLEETIO_BENCH_JSON")) {
         if (std::strcmp(env, "0") != 0 && *env != '\0') {
@@ -306,19 +316,20 @@ BenchReport::writeIfEnabled(int argc, const char *const *argv,
         }
     }
     if (!enabled)
-        return false;
+        return regressed ? 1 : 0;
     std::string path = "BENCH_" + name_ + ".json";
     if (!dir.empty())
         path = dir + (dir.back() == '/' ? "" : "/") + path;
     std::ofstream out(path);
     if (!out) {
         log << "warning: cannot write " << path << "\n";
-        return false;
+        return regressed ? 1 : 0;
     }
     writeJson(out);
     log << "wrote " << path << " (" << cells_.size() << " cells, "
         << fmtDouble(elapsedSeconds(), 2) << " s wall)\n";
-    return true;
+    wrote_last_ = true;
+    return regressed ? 1 : 0;
 }
 
 bool

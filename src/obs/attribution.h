@@ -27,6 +27,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/sim/types.h"
 
 namespace fleetio::obs {
@@ -130,7 +131,7 @@ inline constexpr std::size_t kNumHarvestNotes = 3;
  * FLEETIO_ATTR_EVENT / FLEETIO_ATTR_SCOPE null-guard macros so a null
  * hub costs one pointer test. Single-threaded, like the simulation.
  */
-class AttributionHub
+class FLEETIO_THREAD_CONFINED AttributionHub
 {
   public:
     struct Config

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/thread_annotations.h"
 #include "src/sim/types.h"
 
 namespace fleetio::obs {
@@ -289,8 +290,12 @@ class TraceRecorder
     const std::uint64_t uid_;  ///< process-unique, never reused
     const std::size_t ring_capacity_;
     mutable std::mutex mu_;
-    std::vector<std::unique_ptr<TraceRing>> rings_;
-    std::map<std::uint16_t, std::string> track_names_;
+    /// Ring registration and export both lock; the per-event fast
+    /// path reads a thread-local pointer cached under the lock.
+    std::vector<std::unique_ptr<TraceRing>> rings_
+        FLEETIO_GUARDED_BY(mu_);
+    std::map<std::uint16_t, std::string> track_names_
+        FLEETIO_GUARDED_BY(mu_);
 };
 
 /** True when the FLEETIO_TRACE env knob asks for tracing ("0" = off). */

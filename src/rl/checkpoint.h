@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 
+#include "src/core/thread_annotations.h"
 #include "src/rl/matrix.h"
 
 namespace fleetio::rl {
@@ -95,7 +96,7 @@ CheckpointError readCheckpoint(const std::string &path,
  * — the last-good checkpoint survives both crashes mid-write and
  * on-disk corruption of the newest file.
  */
-class CheckpointStore
+class FLEETIO_THREAD_CONFINED CheckpointStore
 {
   public:
     explicit CheckpointStore(std::string base_path);

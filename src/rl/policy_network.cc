@@ -52,6 +52,7 @@ PolicyNetwork::act(const Vector &state, Rng &rng, bool deterministic)
     forwardTrunk(state);
     ActResult res;
     res.value = value_cache_;
+    res.actions.reserve(head_logits_.size());
     for (const auto &logits : head_logits_) {
         Categorical dist(logits);
         const std::size_t a =

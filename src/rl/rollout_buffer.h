@@ -30,6 +30,11 @@ struct Transition
 class RolloutBuffer
 {
   public:
+    /** Pre-sizes the trajectory so add() — called once per decision
+     *  window from the agent loop — does not reallocate until a
+     *  rollout exceeds 256 steps (updates trigger well before that). */
+    RolloutBuffer() { steps_.reserve(256); }
+
     void add(Transition t) { steps_.push_back(std::move(t)); }
 
     std::size_t size() const { return steps_.size(); }

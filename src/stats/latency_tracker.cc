@@ -5,7 +5,15 @@
 
 namespace fleetio {
 
-LatencyTracker::LatencyTracker(SimTime slo) : slo_(slo) {}
+LatencyTracker::LatencyTracker(SimTime slo) : slo_(slo)
+{
+    // record() sits on the per-request completion path: pre-size the
+    // window so steady-state appends never reallocate, and give the
+    // lifetime sample vector a large first block so rollWindow()'s
+    // folding amortizes its growth across many windows.
+    window_.reserve(4096);
+    all_.reserve(1u << 16);
+}
 
 void
 LatencyTracker::record(SimTime latency)

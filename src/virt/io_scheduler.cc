@@ -11,6 +11,9 @@ IoScheduler::IoScheduler(FlashDevice &dev, VssdManager &vssds)
 {
     queues_.resize(dev.geometry().num_channels);
     token_pump_scheduled_.assign(dev.geometry().num_channels, false);
+    // The out-of-capacity stash is appended to from the submit path;
+    // pre-size it so backpressure bursts never reallocate mid-I/O.
+    blocked_.reserve(64);
     dev_.setOnSlotFreed([this](ChannelId ch) { pump(ch); });
 }
 
@@ -22,6 +25,7 @@ IoScheduler::setRateLimit(VssdId id, double rate_bytes_per_sec,
         buckets_.erase(id);
         return;
     }
+    // fleetio-analyze: allow(hot-alloc): rate reconfiguration is a control-plane event
     buckets_[id] = std::make_unique<TokenBucket>(rate_bytes_per_sec,
                                                  burst_bytes);
 }
@@ -34,6 +38,7 @@ IoScheduler::setTierLimit(VssdId id, double rate_bytes_per_sec,
         tier_buckets_.erase(id);
         return;
     }
+    // fleetio-analyze: allow(hot-alloc): rate reconfiguration is a control-plane event
     tier_buckets_[id] = std::make_unique<TokenBucket>(rate_bytes_per_sec,
                                                       burst_bytes);
 }

@@ -31,8 +31,10 @@ VssdManager::create(const Vssd::Config &cfg)
         if (on_erased_)
             on_erased_(ch, chip, blk);
     };
+    // fleetio-analyze: allow(hot-alloc): vSSD creation is a control-plane arrival event
     vssds_.push_back(std::make_unique<Vssd>(dev_, hbt_, cfg,
                                             std::move(hooks)));
+    // fleetio-analyze: allow(hot-alloc): vSSD creation is a control-plane arrival event
     alive_.push_back(true);
     return *vssds_.back();
 }
@@ -67,6 +69,7 @@ std::vector<Vssd *>
 VssdManager::active()
 {
     std::vector<Vssd *> out;
+    out.reserve(vssds_.size());
     for (std::size_t i = 0; i < vssds_.size(); ++i) {
         if (alive_[i])
             out.push_back(vssds_[i].get());
@@ -78,6 +81,7 @@ std::vector<const Vssd *>
 VssdManager::active() const
 {
     std::vector<const Vssd *> out;
+    out.reserve(vssds_.size());
     for (std::size_t i = 0; i < vssds_.size(); ++i) {
         if (alive_[i])
             out.push_back(vssds_[i].get());

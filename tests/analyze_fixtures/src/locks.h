@@ -1,0 +1,87 @@
+/**
+ * @file
+ * R9 lock-discipline fixtures: guarded-field access, REQUIRES
+ * propagation, EXCLUDES re-entrancy, and thread-confined classes.
+ */
+#pragma once
+
+#include <mutex>
+
+#include "src/core/thread_annotations.h"
+
+namespace fixture {
+
+class Account
+{
+  public:
+    /// Clean: the guarded field is touched under its mutex.
+    void deposit(long v)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        balance_ += v;
+    }
+
+    /// VIOLATION(lock-discipline): guarded field without the lock.
+    void sneak(long v) { balance_ += v; }
+
+    /// Suppressed guarded access, with a reason.
+    long audited() const
+    {
+        // fleetio-analyze: allow(lock-discipline): test-only accessor, runs before threads start
+        return balance_;
+    }
+
+    /// Callee demanding the lock.
+    void settle() FLEETIO_REQUIRES(mu_) { balance_ = 0; }
+
+    /// Clean: takes the lock, then calls the REQUIRES callee.
+    void settleLocked()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        settle();
+    }
+
+    /// VIOLATION(lock-discipline): calls settle() without mu_.
+    void settleRacy() { settle(); }
+
+    /// Callee that takes mu_ itself, so callers must not hold it.
+    void publish() FLEETIO_EXCLUDES(mu_)
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        balance_ += 1;
+    }
+
+    /// VIOLATION(lock-discipline): re-enters publish() under mu_.
+    void publishDeadlock()
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        publish();
+    }
+
+  private:
+    std::mutex mu_;
+    long balance_ FLEETIO_GUARDED_BY(mu_) = 0;
+};
+
+/// VIOLATION(lock-discipline): a confined class owns a mutex.
+class FLEETIO_THREAD_CONFINED Ledger
+{
+  public:
+    void note(long v) { total_ += v; }
+
+  private:
+    std::mutex mu_;
+    long total_ = 0;
+};
+
+/// Clean confined class: plain members only.
+class FLEETIO_THREAD_CONFINED Tally
+{
+  public:
+    void bump() { ++n_; }
+
+  private:
+    long n_ = 0;
+};
+
+}  // namespace fixture

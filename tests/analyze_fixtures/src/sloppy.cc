@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Suppression-hygiene fixtures: a reason-less allow and an allow
+ * naming a rule that does not exist are themselves violations.
+ */
+namespace fixture {
+
+int
+sloppyNoReason()
+{
+    // fleetio-analyze: allow(hot-alloc)
+    return 1;
+}
+
+int
+sloppyUnknownRule()
+{
+    // fleetio-analyze: allow(made-up-rule): sounded plausible
+    return 2;
+}
+
+}  // namespace fixture

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * R11 determinism-taint fixtures: unordered-container iteration
+ * flowing into an ExperimentResult-mentioning sink — one live
+ * violation, one reasoned suppression.
+ */
+#include <unordered_map>
+
+namespace fixture {
+
+struct ExperimentResult
+{
+    double util = 0.0;
+};
+
+class Collector
+{
+  public:
+    /** VIOLATION(determinism-taint): unordered iteration, and the
+     *  caller fill() feeds an ExperimentResult. */
+    double summarize() const
+    {
+        double s = 0.0;
+        for (const auto &kv : table_) {
+            s += kv.second;
+        }
+        return s;
+    }
+
+    /** Same shape, suppressed with a reason. */
+    double summarizeAllowed() const
+    {
+        double s = 0.0;
+        // fleetio-analyze: allow(determinism-taint): commutative sum; iteration order cannot change it
+        for (const auto &kv : table_) {
+            s += kv.second;
+        }
+        return s;
+    }
+
+    /** The sink: mentions ExperimentResult. */
+    void fill(ExperimentResult &res) const
+    {
+        res.util = summarize() + summarizeAllowed();
+    }
+
+  private:
+    std::unordered_map<int, double> table_;
+};
+
+}  // namespace fixture

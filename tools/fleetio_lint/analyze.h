@@ -1,0 +1,148 @@
+/**
+ * @file
+ * fleetio-analyze: the semantic companion to fleetio-lint (DESIGN.md
+ * §14). Where lint.{h,cc} is a token/regex pass over single files,
+ * this pass parses the stripped sources into a lightweight IR — a
+ * per-file symbol table (classes, fields, methods, free functions), a
+ * tree-wide call graph with name+scope resolution (virtual and
+ * InlineFunction/std::function call sites conservatively widened),
+ * and a mutex-annotation map (src/core/thread_annotations.h) — and
+ * runs three interprocedural rule families:
+ *
+ *  - lock-discipline    (R9)  every access to a FLEETIO_GUARDED_BY(m)
+ *                             field holds m; FLEETIO_REQUIRES(m)
+ *                             propagates to callers; FLEETIO_EXCLUDES
+ *                             rejects re-entrant locking; confined
+ *                             classes own no sync primitives
+ *  - hot-alloc          (R10) no new/malloc/std::function/
+ *                             make_unique/make_shared or unreserved
+ *                             vector growth in any function reachable
+ *                             from the EventQueue dispatch,
+ *                             IoScheduler::submit, or FTL read/write
+ *                             entry points (full call chain reported)
+ *  - determinism-taint  (R11) wall clock, std::random_device,
+ *                             unordered-container iteration, and
+ *                             pointer-keyed ordering must not flow
+ *                             into ExperimentResult, trace/metric
+ *                             emission, or agent decisions
+ *
+ * Suppressions: `// fleetio-analyze: allow(<rule>): <reason>` with the
+ * same placement semantics as fleetio-lint (trailing comment = own
+ * line; comment-only line = next code line). R10 anchors at the
+ * allocation site, R11 at the taint source, R9 at the offending
+ * access or call. Reason-less allows are violations.
+ */
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace fleetio::analyze {
+
+struct Violation
+{
+    std::string rule;  ///< "lock-discipline" | "hot-alloc" | "determinism-taint"
+    std::string file;  ///< path relative to the scanned root
+    int line = 0;      ///< 1-based
+    std::string message;
+};
+
+struct Options
+{
+    /** Run only these rule ids (empty = every rule). */
+    std::vector<std::string> rules;
+
+    /**
+     * Hot-path roots as "Class::method" or free-function names
+     * (empty = the FleetIO defaults: EventQueue dispatch,
+     * IoScheduler::submit, FTL read/write entry points).
+     */
+    std::vector<std::string> hot_roots;
+
+    /** Directories under the root to parse (empty = {"src"}). */
+    std::vector<std::string> scan_dirs;
+};
+
+/**
+ * One function node of the IR: a method, free function, or lambda
+ * (lambdas are their own nodes — "Cls::method::<lambda@N>" — so an
+ * escaped callback's body is reachable through indirect calls without
+ * dragging the whole enclosing function in).
+ */
+struct FunctionNode
+{
+    std::string id;    ///< unique: "Cls::name/arity#k" (see makeId)
+    std::string cls;   ///< owning class, "" for free functions
+    std::string name;  ///< unqualified name
+    std::string file;
+    int line = 0;
+    int arity_min = 0;      ///< params without defaults
+    int arity_max = 0;      ///< all params
+    bool is_virtual = false;
+    bool is_defined = false;   ///< has a body we parsed
+    bool escaped_callback = false;  ///< lambda bound to a callback param
+    std::vector<std::string> requires_locks;  ///< FLEETIO_REQUIRES args
+    std::vector<std::string> excludes_locks;  ///< FLEETIO_EXCLUDES args
+    std::vector<std::string> locks_held;      ///< lock_guard'd mutexes
+};
+
+struct CallEdge
+{
+    std::string caller;  ///< FunctionNode::id
+    std::string callee;  ///< FunctionNode::id
+    int line = 0;        ///< call-site line in the caller's file
+    bool widened = false;  ///< conservative (virtual/indirect) edge
+};
+
+struct Result
+{
+    std::vector<Violation> violations;  ///< sorted by (file, line, rule)
+    std::size_t files_scanned = 0;
+    std::size_t suppressions_used = 0;
+
+    // IR exposure for the call-graph tests and --dump-callgraph.
+    std::vector<FunctionNode> functions;
+    std::vector<CallEdge> edges;
+    std::set<std::string> hot_reachable;  ///< FunctionNode ids (R10 set)
+
+    bool clean() const { return violations.empty(); }
+
+    /** First function whose id starts with "<qualified>/" (or equals
+     *  @p qualified), e.g. lookup("EventQueue::step"). nullptr when
+     *  absent. */
+    const FunctionNode *lookup(const std::string &qualified) const;
+
+    /** True when some hot_reachable id starts with "<qualified>/". */
+    bool hotReachable(const std::string &qualified) const;
+
+    /** Resolved callee ids of every call site in @p qualified. */
+    std::vector<std::string>
+    calleesOf(const std::string &qualified) const;
+};
+
+struct RuleInfo
+{
+    const char *id;
+    const char *issue_tag;  ///< "R9".."R11"
+    const char *summary;
+};
+
+/** The rule registry, in R9..R11 order. */
+const std::vector<RuleInfo> &rules();
+
+/** Parse + analyze the tree under @p root. */
+Result runAnalyze(const std::string &root, const Options &opts = {});
+
+/** `file:line: [rule] message` lines plus a summary line. */
+void writeHuman(std::ostream &os, const Result &r);
+
+/** Machine-readable "fleetio-analyze-v1" record (per-rule counts,
+ *  violations, IR sizes) for CI artifact trend inspection. */
+void writeJson(std::ostream &os, const Result &r,
+               const std::string &root);
+
+}  // namespace fleetio::analyze

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * fleetio-analyze CLI. Exit codes: 0 clean, 1 violations, 2 usage
+ * error — mirrors the fleetio-lint driver so CI treats both alike.
+ */
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "tools/fleetio_lint/analyze.h"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: fleetio_analyze [--root DIR] [--json]\n"
+          "                       [--rule ID]... [--dir DIR]...\n"
+          "                       [--hot-root Cls::method]...\n"
+          "                       [--list-rules]\n"
+          "\n"
+          "Semantic (call-graph-aware) checks over the FleetIO\n"
+          "tree: R9 lock-discipline, R10 hot-alloc, R11\n"
+          "determinism-taint. See DESIGN.md section 14.\n";
+}
+
+}  // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    bool json = false;
+    fleetio::analyze::Options opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--rule" && i + 1 < argc) {
+            opts.rules.push_back(argv[++i]);
+        } else if (a == "--dir" && i + 1 < argc) {
+            opts.scan_dirs.push_back(argv[++i]);
+        } else if (a == "--hot-root" && i + 1 < argc) {
+            opts.hot_roots.push_back(argv[++i]);
+        } else if (a == "--list-rules") {
+            for (const auto &r : fleetio::analyze::rules())
+                std::cout << r.id << " (" << r.issue_tag << "): "
+                          << r.summary << "\n";
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "fleetio_analyze: unknown argument '" << a
+                      << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    const fleetio::analyze::Result r =
+        fleetio::analyze::runAnalyze(root, opts);
+    if (json)
+        fleetio::analyze::writeJson(std::cout, r, root);
+    else
+        fleetio::analyze::writeHuman(std::cout, r);
+    return r.clean() ? 0 : 1;
+}

@@ -4,11 +4,11 @@
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 #include <map>
 #include <ostream>
 #include <set>
-#include <sstream>
+
+#include "tools/fleetio_lint/source_model.h"
 
 namespace fs = std::filesystem;
 
@@ -44,191 +44,28 @@ const std::vector<RuleInfo> kRules = {
      "fleetio-lint: allow(...) requires a non-empty reason"},
 };
 
-// ------------------------------------------------------------- file I/O
+// --------------------------------------------------------------- lexer
+// The comment/string stripper, word/call matchers and file I/O live in
+// the shared source-model layer (source_model.{h,cc}) so fleetio-lint
+// and fleetio-analyze agree on what "code" is.
+
+using srcmodel::callLike;
+using srcmodel::containsWord;
+using srcmodel::isWordChar;
+using srcmodel::splitLines;
+using srcmodel::stripCode;
+using srcmodel::Suppress;
 
 bool
 readFile(const fs::path &p, std::string &out)
 {
-    std::ifstream in(p, std::ios::binary);
-    if (!in)
-        return false;
-    std::ostringstream ss;
-    ss << in.rdbuf();
-    out = ss.str();
-    return true;
+    return srcmodel::readFile(p.string(), out);
 }
 
 bool
 writeFile(const fs::path &p, const std::string &text)
 {
-    std::ofstream out(p, std::ios::binary | std::ios::trunc);
-    if (!out)
-        return false;
-    out << text;
-    return bool(out);
-}
-
-std::vector<std::string>
-splitLines(const std::string &text)
-{
-    std::vector<std::string> lines;
-    std::string cur;
-    for (char c : text) {
-        if (c == '\n') {
-            lines.push_back(cur);
-            cur.clear();
-        } else {
-            cur += c;
-        }
-    }
-    if (!cur.empty())
-        lines.push_back(cur);
-    return lines;
-}
-
-// --------------------------------------------------- comment stripping
-
-bool
-isWordChar(char c)
-{
-    return std::isalnum((unsigned char)c) || c == '_';
-}
-
-/**
- * Blank out comment bodies and string/char literal contents so pattern
- * matching never fires inside them. Preserves length and line breaks,
- * so (line, column) positions survive. Handles // and block comments,
- * escapes, and (crudely) raw strings.
- */
-std::string
-stripCode(const std::string &text)
-{
-    enum class St { kCode, kLine, kBlock, kStr, kChar, kRaw };
-    std::string out = text;
-    St st = St::kCode;
-    std::string raw_delim;  // for R"delim( ... )delim"
-    for (std::size_t i = 0; i < text.size(); ++i) {
-        const char c = text[i];
-        const char n = i + 1 < text.size() ? text[i + 1] : '\0';
-        switch (st) {
-        case St::kCode:
-            if (c == '/' && n == '/') {
-                st = St::kLine;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == '/' && n == '*') {
-                st = St::kBlock;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c == 'R' && n == '"' &&
-                       (i == 0 || !(std::isalnum(
-                                        (unsigned char)text[i - 1]) ||
-                                    text[i - 1] == '_'))) {
-                // R"delim( — capture delim up to the '('.
-                std::size_t j = i + 2;
-                raw_delim.clear();
-                while (j < text.size() && text[j] != '(' &&
-                       raw_delim.size() < 16)
-                    raw_delim += text[j++];
-                if (j < text.size() && text[j] == '(') {
-                    st = St::kRaw;
-                    i = j;  // keep prefix visible; blank the body
-                }
-            } else if (c == '"') {
-                st = St::kStr;
-            } else if (c == '\'') {
-                // A quote straight after an identifier/number char is
-                // a digit separator (1'000'000), not a char literal.
-                if (i == 0 || !isWordChar(text[i - 1]))
-                    st = St::kChar;
-            }
-            break;
-        case St::kLine:
-            if (c == '\n')
-                st = St::kCode;
-            else
-                out[i] = ' ';
-            break;
-        case St::kBlock:
-            if (c == '*' && n == '/') {
-                st = St::kCode;
-                out[i] = out[i + 1] = ' ';
-                ++i;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case St::kStr:
-            if (c == '\\' && n != '\0') {
-                out[i] = ' ';
-                if (n != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                st = St::kCode;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case St::kChar:
-            if (c == '\\' && n != '\0') {
-                out[i] = ' ';
-                if (n != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '\'') {
-                st = St::kCode;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        case St::kRaw: {
-            const std::string close = ")" + raw_delim + "\"";
-            if (text.compare(i, close.size(), close) == 0) {
-                st = St::kCode;
-                i += close.size() - 1;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-        }
-    }
-    return out;
-}
-
-/** Find `needle` at a word boundary (both ends) in `hay`. */
-bool
-containsWord(const std::string &hay, const std::string &needle)
-{
-    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
-         pos = hay.find(needle, pos + 1)) {
-        const bool left_ok = pos == 0 || !isWordChar(hay[pos - 1]);
-        const std::size_t end = pos + needle.size();
-        const bool right_ok =
-            end >= hay.size() || !isWordChar(hay[end]);
-        if (left_ok && right_ok)
-            return true;
-    }
-    return false;
-}
-
-/** Match `name (` at a word boundary, e.g. callLike(line, "rand"). */
-bool
-callLike(const std::string &line, const std::string &name)
-{
-    for (std::size_t pos = line.find(name); pos != std::string::npos;
-         pos = line.find(name, pos + 1)) {
-        if (pos > 0 && isWordChar(line[pos - 1]))
-            continue;
-        std::size_t j = pos + name.size();
-        while (j < line.size() &&
-               std::isspace((unsigned char)line[j]))
-            ++j;
-        if (j < line.size() && line[j] == '(')
-            return true;
-    }
-    return false;
+    return srcmodel::writeFile(p.string(), text);
 }
 
 /** `time(` only counts with a clearly wall-clock argument shape. */
@@ -256,13 +93,6 @@ wallClockTimeCall(const std::string &line)
 }
 
 // ------------------------------------------------------ per-file model
-
-struct Suppress
-{
-    std::string rule;
-    bool has_reason = false;
-    bool used = false;
-};
 
 struct IncludeEdge
 {
@@ -301,66 +131,7 @@ toRel(const fs::path &p, const fs::path &root)
 void
 parseAllows(FileInfo &f)
 {
-    static const std::string kTag = "fleetio-lint:";
-    for (std::size_t li = 0; li < f.raw.size(); ++li) {
-        const std::string &line = f.raw[li];
-        std::size_t pos = line.find(kTag);
-        while (pos != std::string::npos) {
-            std::size_t p = line.find("allow(", pos);
-            if (p == std::string::npos)
-                break;
-            p += 6;
-            const std::size_t close = line.find(')', p);
-            if (close == std::string::npos)
-                break;
-            Suppress s;
-            s.rule = line.substr(p, close - p);
-            // Anything but a kebab-case rule id (e.g. "allow(<id>)"
-            // in prose or code that *talks about* suppressions) is
-            // not a suppression attempt.
-            const bool id_like =
-                !s.rule.empty() &&
-                std::all_of(s.rule.begin(), s.rule.end(), [](char c) {
-                    return std::islower((unsigned char)c) ||
-                           std::isdigit((unsigned char)c) || c == '-';
-                });
-            if (!id_like) {
-                pos = line.find(kTag, close);
-                continue;
-            }
-            // Mandatory reason: "): <non-empty text>".
-            std::size_t r = close + 1;
-            while (r < line.size() &&
-                   std::isspace((unsigned char)line[r]))
-                ++r;
-            if (r < line.size() && line[r] == ':') {
-                ++r;
-                while (r < line.size() &&
-                       std::isspace((unsigned char)line[r]))
-                    ++r;
-                s.has_reason = r < line.size();
-            }
-            // A trailing comment suppresses its own line; a comment-only
-            // line suppresses the next code line (skipping the rest of
-            // the comment block and blank lines).
-            auto blank = [&](std::size_t lj) {
-                const std::string &code = f.code[lj];
-                return std::all_of(code.begin(), code.end(),
-                                   [](char c) {
-                                       return std::isspace(
-                                           (unsigned char)c);
-                                   });
-            };
-            std::size_t target = li;
-            if (blank(li)) {
-                target = li + 1;
-                while (target + 1 < f.code.size() && blank(target))
-                    ++target;
-            }
-            f.allows[int(target) + 1].push_back(s);
-            pos = line.find(kTag, close);
-        }
-    }
+    f.allows = srcmodel::parseAllows(f.raw, f.code, "fleetio-lint:");
 }
 
 void
@@ -440,7 +211,7 @@ bool
 skippedDir(const std::string &name)
 {
     return name == ".git" || name == "lint_fixtures" ||
-           name.rfind("build", 0) == 0;
+           name == "analyze_fixtures" || name.rfind("build", 0) == 0;
 }
 
 void
